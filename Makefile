@@ -1,0 +1,43 @@
+# Xylem reproduction — convenience targets. Everything is plain `go`
+# underneath; the Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test vet race bench bench-full figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator is single-threaded per run, but the race detector still
+# guards the test harness itself.
+race:
+	$(GO) test -race ./internal/...
+
+# Regenerate every paper figure at reduced scale (~20 min).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run XXX -timeout 0 . | tee bench_output.txt
+
+# Paper-scale figures (32x32 grid, 400k-instruction traces; ~1 h).
+bench-full:
+	XYLEM_BENCH_FULL=1 $(GO) test -bench=. -benchmem -benchtime=1x -run XXX -timeout 0 . | tee bench_output_full.txt
+
+# Individual figures through the CLI, e.g. `make figures FIG=8`.
+FIG ?= 8
+figures:
+	$(GO) run ./cmd/xylem figure -id $(FIG)
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sensitivity
+	$(GO) run ./examples/customdie
+
+clean:
+	$(GO) clean ./...

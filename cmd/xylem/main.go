@@ -1,0 +1,421 @@
+// Command xylem drives the Xylem reproduction: it evaluates the thermal
+// and performance behaviour of a 3D processor-memory stack under the
+// paper's TTSV/µbump schemes and regenerates the evaluation figures.
+//
+// Usage:
+//
+//	xylem temps   [-apps a,b,c] [-freqs 2.4,3.5] [-grid 32] [-instr N]
+//	xylem boost   [-apps a,b,c] [-grid 32] [-instr N]
+//	xylem figure  -id 7|8|9|10|11|12|13|14|15|16|17|18|19|area [...]
+//	xylem all     [...]            regenerate every figure (slow)
+//	xylem schemes                  print Table 2 (scheme inventory)
+//	xylem floorplan                dump the processor & DRAM floorplans
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/xylem-sim/xylem/internal/config"
+	"github.com/xylem-sim/xylem/internal/core"
+	"github.com/xylem-sim/xylem/internal/exp"
+	"github.com/xylem-sim/xylem/internal/floorplan"
+	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/render"
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "temps":
+		err = cmdFigure("7", args)
+	case "boost":
+		err = cmdBoost(args)
+	case "figure":
+		err = cmdFigureFlag(args)
+	case "all":
+		err = cmdAll(args)
+	case "schemes":
+		err = cmdSchemes()
+	case "floorplan":
+		err = cmdFloorplan()
+	case "heatmap":
+		err = cmdHeatmap(args)
+	case "trace":
+		err = cmdTrace(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xylem:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: xylem <temps|boost|figure|all|schemes|floorplan> [flags]
+  temps      processor-temperature sweep (Figure 7)
+  boost      iso-temperature frequency boost (Figures 9-12)
+  figure     one figure: -id 7..19 or area
+  all        every figure and table
+  schemes    Table 2 scheme inventory
+  floorplan  dump die floorplans
+  heatmap    render the processor-die temperature field
+  trace      record a synthetic workload trace to a portable file`)
+}
+
+// optFlags registers the shared experiment flags on a FlagSet.
+func optFlags(fs *flag.FlagSet) (apps *string, grid, instr *int, freqs *string) {
+	apps = fs.String("apps", "", "comma-separated application subset (default: all 17)")
+	grid = fs.Int("grid", 32, "thermal grid resolution (NxN)")
+	instr = fs.Int("instr", 0, "per-thread instruction budget (0 = profile default)")
+	freqs = fs.String("freqs", "2.4,2.8,3.2,3.5", "frequencies for temperature sweeps (GHz)")
+	return
+}
+
+func buildOptions(apps string, grid, instr int, freqs string) (exp.Options, error) {
+	o := exp.DefaultOptions()
+	if apps != "" {
+		o.Apps = strings.Split(apps, ",")
+	}
+	o.GridRows, o.GridCols = grid, grid
+	o.Instructions = instr
+	if freqs != "" {
+		o.Freqs = nil
+		for _, s := range strings.Split(freqs, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return exp.Options{}, fmt.Errorf("bad frequency %q", s)
+			}
+			o.Freqs = append(o.Freqs, f)
+		}
+	}
+	return o, nil
+}
+
+func newRunner(fs *flag.FlagSet, args []string) (*exp.Runner, error) {
+	apps, grid, instr, freqs := optFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	o, err := buildOptions(*apps, *grid, *instr, *freqs)
+	if err != nil {
+		return nil, err
+	}
+	return exp.NewRunner(o)
+}
+
+func cmdBoost(args []string) error {
+	fs := flag.NewFlagSet("boost", flag.ContinueOnError)
+	r, err := newRunner(fs, args)
+	if err != nil {
+		return err
+	}
+	rows, err := r.BoostSweep()
+	if err != nil {
+		return err
+	}
+	for _, t := range []exp.Table{r.Figure9(rows), r.Figure10(rows), r.Figure11(rows), r.Figure12(rows)} {
+		t.Fprint(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdFigureFlag(args []string) error {
+	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
+	id := fs.String("id", "", "figure id: 7..19, area, refresh, d2d, profile, workloads, or org")
+	csvPath := fs.String("csv", "", "also write the table as CSV to this path")
+	apps, grid, instr, freqs := optFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("figure: -id required")
+	}
+	o, err := buildOptions(*apps, *grid, *instr, *freqs)
+	if err != nil {
+		return err
+	}
+	r, err := exp.NewRunner(o)
+	if err != nil {
+		return err
+	}
+	csvOut = *csvPath
+	defer func() { csvOut = "" }()
+	return runFigure(r, *id)
+}
+
+// csvOut, when set, makes runFigure's print helper also write the table
+// as CSV.
+var csvOut string
+
+func cmdFigure(id string, args []string) error {
+	fs := flag.NewFlagSet("temps", flag.ContinueOnError)
+	r, err := newRunner(fs, args)
+	if err != nil {
+		return err
+	}
+	return runFigure(r, id)
+}
+
+func runFigure(r *exp.Runner, id string) error {
+	print := func(t exp.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+		if csvOut != "" {
+			f, err := os.Create(csvOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := t.CSV(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", csvOut)
+		}
+		return nil
+	}
+	switch id {
+	case "7":
+		_, t, err := r.Figure7()
+		return print(t, err)
+	case "8":
+		_, t, err := r.Figure8()
+		return print(t, err)
+	case "9", "10", "11", "12":
+		rows, err := r.BoostSweep()
+		if err != nil {
+			return err
+		}
+		switch id {
+		case "9":
+			return print(r.Figure9(rows), nil)
+		case "10":
+			return print(r.Figure10(rows), nil)
+		case "11":
+			return print(r.Figure11(rows), nil)
+		default:
+			return print(r.Figure12(rows), nil)
+		}
+	case "13":
+		_, t, err := r.Figure13()
+		return print(t, err)
+	case "14":
+		_, t, err := r.Figure14()
+		return print(t, err)
+	case "15":
+		_, t, err := r.Figure15()
+		return print(t, err)
+	case "16":
+		_, t, err := r.Figure16()
+		return print(t, err)
+	case "17":
+		_, t, err := r.Figure17()
+		return print(t, err)
+	case "18":
+		_, t, err := r.Figure18()
+		return print(t, err)
+	case "19":
+		_, t, err := r.Figure19()
+		return print(t, err)
+	case "area":
+		_, t, err := r.TableArea()
+		return print(t, err)
+	case "refresh":
+		_, t, err := r.RefreshStudy()
+		return print(t, err)
+	case "d2d":
+		_, t, err := r.D2DSensitivity()
+		return print(t, err)
+	case "workloads":
+		_, t, err := r.TableWorkloads()
+		return print(t, err)
+	case "org":
+		_, t, err := r.OrgCompare()
+		return print(t, err)
+	case "profile":
+		_, t, err := r.StackProfile(stack.Base)
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+		fmt.Println()
+		_, t2, err := r.StackProfile(stack.BankE)
+		return print(t2, err)
+	default:
+		return fmt.Errorf("unknown figure %q", id)
+	}
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ContinueOnError)
+	r, err := newRunner(fs, args)
+	if err != nil {
+		return err
+	}
+	ids := []string{"area", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "19"}
+	for _, id := range ids {
+		if err := runFigure(r, id); err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdHeatmap(args []string) error {
+	fs := flag.NewFlagSet("heatmap", flag.ContinueOnError)
+	app := fs.String("app", "lu-nas", "application to run")
+	schemeName := fs.String("scheme", "banke", "scheme: base|bank|banke|isoCount|prior")
+	freq := fs.Float64("freq", 2.4, "core frequency (GHz)")
+	grid := fs.Int("grid", 32, "thermal grid resolution (NxN)")
+	instr := fs.Int("instr", 150000, "per-thread instruction budget")
+	ppmPath := fs.String("ppm", "", "also write a PPM image to this path")
+	cfgPath := fs.String("config", "", "JSON stack configuration file (see internal/config)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kind, err := config.BuildScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	if *cfgPath != "" {
+		cfg, err = config.Load(*cfgPath)
+		if err != nil {
+			return err
+		}
+	}
+	cfg.Stack.GridRows, cfg.Stack.GridCols = *grid, *grid
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	p, err := workload.ByName(*app)
+	if err != nil {
+		return err
+	}
+	if *instr > 0 {
+		p.Instructions = *instr
+	}
+	o, err := sys.EvaluateUniform(kind, p, *freq)
+	if err != nil {
+		return err
+	}
+	st := sys.Stack(kind)
+	fmt.Printf("%s on %s at %.1f GHz: proc hotspot %.1f °C, bottom DRAM %.1f °C\n\n",
+		*app, kind, *freq, o.ProcHotC, o.DRAM0HotC)
+
+	fmt.Println("processor die (active layer):")
+	if err := render.ASCII(os.Stdout, st.Model.Grid, o.Temps[st.ProcMetalLayer], math.NaN(), math.NaN()); err != nil {
+		return err
+	}
+	fmt.Println("\nstack profile:")
+	names := make([]string, len(st.Model.Layers))
+	for i, l := range st.Model.Layers {
+		names[i] = l.Name
+	}
+	if err := render.LayerSummary(os.Stdout, names, o.Temps); err != nil {
+		return err
+	}
+	if *ppmPath != "" {
+		f, err := os.Create(*ppmPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := render.PPM(f, st.Model.Grid, o.Temps[st.ProcMetalLayer], 16); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *ppmPath)
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	app := fs.String("app", "lu-nas", "application profile to record")
+	thread := fs.Int("thread", 0, "thread id (seeds the stream)")
+	n := fs.Int("n", 100000, "instructions to record")
+	out := fs.String("o", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := workload.ByName(*app)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(w, "# xylem trace: app=%s thread=%d n=%d\n", *app, *thread, *n)
+	if err := workload.WriteTrace(w, workload.NewTrace(p, *thread), *n); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d instructions to %s\n", *n, *out)
+	}
+	return nil
+}
+
+func cmdSchemes() error {
+	proc, err := floorplan.BuildProcDie(floorplan.DefaultProcConfig())
+	if err != nil {
+		return err
+	}
+	_, sg, err := floorplan.BuildDRAMSlice(floorplan.DefaultDRAMConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 2: Xylem schemes")
+	fmt.Printf("%-10s %-6s %-8s %s\n", "scheme", "TTSVs", "shorted", "area overhead")
+	for _, k := range stack.AllSchemes {
+		s, err := stack.BuildScheme(k, stack.DefaultTTSVSpec(), sg, proc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %-6d %-8v %.2f%%\n",
+			k, s.TTSVCount(), s.Shorted, s.AreaOverhead(64e-6)*100)
+	}
+	return nil
+}
+
+func cmdFloorplan() error {
+	proc, err := floorplan.BuildProcDie(floorplan.DefaultProcConfig())
+	if err != nil {
+		return err
+	}
+	dram, _, err := floorplan.BuildDRAMSlice(floorplan.DefaultDRAMConfig())
+	if err != nil {
+		return err
+	}
+	for _, fp := range []*floorplan.Floorplan{proc, dram} {
+		fmt.Printf("%s: %.1f x %.1f mm, %d blocks\n",
+			fp.Name, fp.Width/geom.Millimetre, fp.Height/geom.Millimetre, len(fp.Blocks))
+		for _, b := range fp.Blocks {
+			fmt.Printf("  %-14s %-12s core=%-2d %s\n", b.Name, b.Kind, b.Core, b.Rect)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/xylem-sim/xylem
+
+go 1.22

@@ -1,0 +1,127 @@
+// Package cpusim is the reproduction's cycle-approximate multicore
+// simulator — the substitute for SESC. It executes synthetic workload
+// traces on a configurable number of 4-issue cores with private L1
+// instruction/data caches and private unified L2s kept coherent by a
+// bus-based snoopy MESI protocol (Table 3 of the paper), backed by the
+// Wide I/O DRAM model in internal/dram.
+//
+// The simulator's purpose is to produce (a) execution time as a function
+// of per-core frequency and (b) per-architectural-block activity counts
+// for the power model. It is event-ordered and fully deterministic.
+package cpusim
+
+import "fmt"
+
+// lineState is a MESI coherence state.
+type lineState uint8
+
+const (
+	stateInvalid lineState = iota
+	stateShared
+	stateExclusive
+	stateModified
+)
+
+// cacheLine is one way of one set.
+type cacheLine struct {
+	tag   uint64
+	state lineState
+	// base is the line's base address, recorded at fill time so
+	// evictions can name their victim without reconstructing it.
+	base uint64
+	// lru is a per-set sequence number; larger = more recently used.
+	lru uint64
+}
+
+// cache is a set-associative cache with LRU replacement and MESI states.
+// L1 caches use only Invalid/Exclusive (they are write-through and the
+// L2 enforces coherence); L2 caches use the full protocol.
+type cache struct {
+	sets    int
+	assoc   int
+	lineSz  uint64
+	lines   []cacheLine // sets*assoc, set-major
+	lruTick uint64
+}
+
+func newCache(sizeBytes, assoc, lineSize int) (*cache, error) {
+	if sizeBytes <= 0 || assoc <= 0 || lineSize <= 0 {
+		return nil, fmt.Errorf("cpusim: invalid cache geometry %d/%d/%d", sizeBytes, assoc, lineSize)
+	}
+	lines := sizeBytes / lineSize
+	sets := lines / assoc
+	if sets == 0 || lines%assoc != 0 {
+		return nil, fmt.Errorf("cpusim: cache %dB %d-way %dB lines does not divide evenly", sizeBytes, assoc, lineSize)
+	}
+	return &cache{
+		sets:   sets,
+		assoc:  assoc,
+		lineSz: uint64(lineSize),
+		lines:  make([]cacheLine, sets*assoc),
+	}, nil
+}
+
+func (c *cache) setAndTag(addr uint64) (int, uint64) {
+	line := addr / c.lineSz
+	return int(line % uint64(c.sets)), line / uint64(c.sets)
+}
+
+// lookup returns the line holding addr, or nil. It does not touch LRU.
+func (c *cache) lookup(addr uint64) *cacheLine {
+	set, tag := c.setAndTag(addr)
+	base := set * c.assoc
+	for i := 0; i < c.assoc; i++ {
+		l := &c.lines[base+i]
+		if l.state != stateInvalid && l.tag == tag {
+			return l
+		}
+	}
+	return nil
+}
+
+// touch marks a line most recently used.
+func (c *cache) touch(l *cacheLine) {
+	c.lruTick++
+	l.lru = c.lruTick
+}
+
+// victim returns the line to fill for addr: an invalid way if one exists,
+// otherwise the LRU way. The caller is responsible for handling the
+// victim's writeback/invalidation before overwriting it.
+func (c *cache) victim(addr uint64) *cacheLine {
+	set, _ := c.setAndTag(addr)
+	base := set * c.assoc
+	var best *cacheLine
+	for i := 0; i < c.assoc; i++ {
+		l := &c.lines[base+i]
+		if l.state == stateInvalid {
+			return l
+		}
+		if best == nil || l.lru < best.lru {
+			best = l
+		}
+	}
+	return best
+}
+
+// fill installs addr into the given way with the given state.
+func (c *cache) fill(l *cacheLine, addr uint64, st lineState) {
+	_, tag := c.setAndTag(addr)
+	l.tag = tag
+	l.state = st
+	l.base = addr &^ (c.lineSz - 1)
+	c.touch(l)
+}
+
+// lineAddr returns the base address of the line a way currently holds.
+func (c *cache) lineAddr(l *cacheLine) uint64 { return l.base }
+
+// invalidate drops addr if present, returning the prior state.
+func (c *cache) invalidate(addr uint64) lineState {
+	if l := c.lookup(addr); l != nil {
+		st := l.state
+		l.state = stateInvalid
+		return st
+	}
+	return stateInvalid
+}

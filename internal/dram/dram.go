@@ -1,0 +1,292 @@
+// Package dram models the timing and activity of a Wide I/O stacked DRAM:
+// 4 physical channels, one rank per channel per slice, 4 banks per rank,
+// open-page row-buffer policy, and temperature-dependent refresh. It is
+// the reproduction's substitute for DRAMSim2.
+//
+// The model is transaction-level: the memory controller receives 64-byte
+// line requests with a wall-clock issue time in nanoseconds and returns
+// the completion time, updating per-bank state (open row, busy-until) and
+// activity counters along the way. Core frequency scaling leaves these
+// nanosecond timings untouched, which is exactly why memory-bound
+// applications gain little from Xylem's frequency boost (Figs. 9/10).
+package dram
+
+import "fmt"
+
+// Config holds the stack organisation and timing parameters (Table 3 and
+// the Wide I/O discussion in §6.2: Wide I/O organisation at a Wide I/O 2
+// data rate of 51.2 GB/s aggregate).
+type Config struct {
+	// Channels is the number of physical channels (4 for Wide I/O).
+	Channels int
+	// Slices is the number of stacked DRAM dies; each slice contributes
+	// one rank to every channel.
+	Slices int
+	// BanksPerRank is 4 for Wide I/O.
+	BanksPerRank int
+	// RowBytes is the row-buffer size per bank in bytes.
+	RowBytes int
+
+	// Timing, all in nanoseconds.
+	TRCD float64 // activate to column command
+	TCAS float64 // column command to first data
+	TRP  float64 // precharge
+	TRAS float64 // activate to precharge (minimum row-open time)
+	// BurstNs is the data-bus occupancy of one 64-byte line transfer per
+	// channel (64 B at 12.8 GB/s per channel = 5 ns).
+	BurstNs float64
+
+	// Refresh. TREFI is the average interval between per-rank refreshes
+	// at or below 85 °C; TRFC is the time a refresh occupies the rank.
+	// JEDEC halves the refresh period for every 10 °C above 85 °C; the
+	// controller exposes that through SetTemperature.
+	TREFI float64
+	TRFC  float64
+}
+
+// DefaultConfig returns the evaluation configuration: a Wide I/O
+// organisation with 8 slices and a 51.2 GB/s aggregate data rate, with
+// DRAM idle round-trip latency ≈100 core cycles at 2.4 GHz (≈42 ns).
+func DefaultConfig() Config {
+	return Config{
+		Channels:     4,
+		Slices:       8,
+		BanksPerRank: 4,
+		RowBytes:     2048,
+		TRCD:         14,
+		TCAS:         14,
+		TRP:          14,
+		TRAS:         34,
+		BurstNs:      5,
+		TREFI:        7800, // 64 ms / 8192 rows
+		TRFC:         120,
+	}
+}
+
+// Stats aggregates controller activity, used by the power model.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	Refreshes uint64
+	// PerSliceAccesses counts line transfers that landed on each slice
+	// (rank), bottom slice first.
+	PerSliceAccesses []uint64
+	// PerBankAccesses counts accesses by [slice][channel][bank].
+	PerBankAccesses [][][]uint64
+}
+
+// bank holds the open-row state of one bank.
+type bank struct {
+	openRow  int64 // -1 when precharged
+	busyAt   float64
+	rowSince float64 // when the current row was activated (tRAS)
+}
+
+// rankState tracks refresh bookkeeping for one rank (slice × channel).
+type rankState struct {
+	nextRefresh float64
+}
+
+// Controller is the Wide I/O memory controller front end. It is not safe
+// for concurrent use; the simulator serialises accesses through it.
+type Controller struct {
+	cfg Config
+	// banks[slice][channel][bank]
+	banks   [][][]bank
+	ranks   [][]rankState // [slice][channel]
+	chanBus []float64     // per-channel data-bus free time
+	stats   Stats
+	// refreshScale multiplies request service start by blocking refresh
+	// slots; 1.0 at ≤85 °C, 2.0 at 95 °C, etc.
+	refreshPeriodScale float64
+}
+
+// NewController builds a controller with all banks precharged.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.Channels <= 0 || cfg.Slices <= 0 || cfg.BanksPerRank <= 0 {
+		return nil, fmt.Errorf("dram: invalid organisation %+v", cfg)
+	}
+	if cfg.RowBytes <= 0 || cfg.TRCD <= 0 || cfg.TCAS <= 0 || cfg.TRP <= 0 || cfg.BurstNs <= 0 {
+		return nil, fmt.Errorf("dram: invalid timing %+v", cfg)
+	}
+	c := &Controller{cfg: cfg, refreshPeriodScale: 1}
+	c.banks = make([][][]bank, cfg.Slices)
+	c.ranks = make([][]rankState, cfg.Slices)
+	for s := range c.banks {
+		c.banks[s] = make([][]bank, cfg.Channels)
+		c.ranks[s] = make([]rankState, cfg.Channels)
+		for ch := range c.banks[s] {
+			c.banks[s][ch] = make([]bank, cfg.BanksPerRank)
+			for b := range c.banks[s][ch] {
+				c.banks[s][ch][b].openRow = -1
+			}
+			c.ranks[s][ch].nextRefresh = cfg.TREFI
+		}
+	}
+	c.chanBus = make([]float64, cfg.Channels)
+	c.stats.PerSliceAccesses = make([]uint64, cfg.Slices)
+	c.stats.PerBankAccesses = make([][][]uint64, cfg.Slices)
+	for s := range c.stats.PerBankAccesses {
+		c.stats.PerBankAccesses[s] = make([][]uint64, cfg.Channels)
+		for ch := range c.stats.PerBankAccesses[s] {
+			c.stats.PerBankAccesses[s][ch] = make([]uint64, cfg.BanksPerRank)
+		}
+	}
+	return c, nil
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// SetTemperature applies the JEDEC extended-range refresh rule: the
+// refresh period halves for every 10 °C above 85 °C (§7.5). Temperatures
+// at or below 85 °C restore the nominal period.
+func (c *Controller) SetTemperature(tempC float64) {
+	scale := 1.0
+	for t := tempC; t > 85; t -= 10 {
+		scale *= 2
+	}
+	c.refreshPeriodScale = scale
+}
+
+// RefreshPeriodScale reports the current refresh-rate multiplier.
+func (c *Controller) RefreshPeriodScale() float64 { return c.refreshPeriodScale }
+
+// Map decodes a line address into (slice, channel, bank, row). The
+// mapping is row-interleaved, as in real open-page controllers: all the
+// lines of one 2 KB row map to the same (channel, bank, slice), so
+// streaming access patterns enjoy row-buffer hits, while channels, banks
+// and slices rotate on row granularity for parallelism.
+func (c *Controller) Map(addr uint64) (slice, channel, bnk int, row int64) {
+	line := addr / 64
+	linesPerRow := uint64(c.cfg.RowBytes / 64)
+	rest := line / linesPerRow
+	// XOR-fold the higher address bits into the channel/bank/slice
+	// selection (as real controllers do) so that large power-of-two
+	// strides — such as per-thread address windows — do not all collapse
+	// onto one bank. Consecutive rows still rotate across channels.
+	h := rest ^ (rest >> 7) ^ (rest >> 15) ^ (rest >> 23)
+	channel = int(h % uint64(c.cfg.Channels))
+	h /= uint64(c.cfg.Channels)
+	bnk = int(h % uint64(c.cfg.BanksPerRank))
+	h /= uint64(c.cfg.BanksPerRank)
+	slice = int(h % uint64(c.cfg.Slices))
+	// The row identity is the full row-chunk id: it only feeds open-row
+	// comparison, so it need not be compacted.
+	row = int64(rest)
+	return slice, channel, bnk, row
+}
+
+// Access services one 64-byte request issued at time `now` (ns) and
+// returns the completion time (ns).
+//
+// Writes are posted: the controller buffers them in a write queue and
+// drains them opportunistically in idle bank/bus gaps, so they contribute
+// activity (and hence DRAM power) but do not block subsequent reads. This
+// mirrors real open-page controllers with low-priority write drains;
+// modelling writes as precisely-timed FCFS transactions would let a
+// writeback scheduled at a future completion time head-of-line-block
+// every later read on its channel.
+func (c *Controller) Access(now float64, addr uint64, isWrite bool) float64 {
+	slice, ch, b, row := c.Map(addr)
+
+	if isWrite {
+		c.stats.Writes++
+		// Row-cycle energy accounting: charge writes as row activity
+		// without disturbing the read path's open-row state.
+		c.stats.RowMisses++
+		c.stats.PerSliceAccesses[slice]++
+		c.stats.PerBankAccesses[slice][ch][b]++
+		return now
+	}
+
+	bk := &c.banks[slice][ch][b]
+	rank := &c.ranks[slice][ch]
+
+	start := now
+	if bk.busyAt > start {
+		start = bk.busyAt
+	}
+
+	// Refresh: refreshes run in the background; an access pays at most
+	// one tRFC when it collides with one. Missed intervals are counted
+	// (they drain power) but do not pile blocking time onto a single
+	// unlucky access. Elevated temperature shortens the interval.
+	interval := c.cfg.TREFI / c.refreshPeriodScale
+	if rank.nextRefresh <= start {
+		missed := uint64((start-rank.nextRefresh)/interval) + 1
+		c.stats.Refreshes += missed
+		rank.nextRefresh += float64(missed) * interval
+		start += c.cfg.TRFC
+	}
+
+	var ready float64
+	if bk.openRow == row {
+		c.stats.RowHits++
+		ready = start + c.cfg.TCAS
+	} else {
+		c.stats.RowMisses++
+		if bk.openRow >= 0 {
+			// Precharge the old row; honour tRAS from its activation.
+			preAt := start
+			if min := bk.rowSince + c.cfg.TRAS; min > preAt {
+				preAt = min
+			}
+			start = preAt + c.cfg.TRP
+		}
+		bk.rowSince = start
+		ready = start + c.cfg.TRCD + c.cfg.TCAS
+		bk.openRow = row
+	}
+
+	// Channel data bus occupancy.
+	busAt := ready
+	if c.chanBus[ch] > busAt {
+		busAt = c.chanBus[ch]
+	}
+	done := busAt + c.cfg.BurstNs
+	c.chanBus[ch] = done
+	bk.busyAt = ready
+
+	c.stats.Reads++
+	c.stats.PerSliceAccesses[slice]++
+	c.stats.PerBankAccesses[slice][ch][b]++
+	return done
+}
+
+// ResetStats zeroes the activity counters without disturbing bank or
+// timing state. The simulator calls it at the end of its warm-up phase so
+// power is computed from steady-state activity only.
+func (c *Controller) ResetStats() {
+	c.stats = Stats{}
+	c.stats.PerSliceAccesses = make([]uint64, c.cfg.Slices)
+	c.stats.PerBankAccesses = make([][][]uint64, c.cfg.Slices)
+	for s := range c.stats.PerBankAccesses {
+		c.stats.PerBankAccesses[s] = make([][]uint64, c.cfg.Channels)
+		for ch := range c.stats.PerBankAccesses[s] {
+			c.stats.PerBankAccesses[s][ch] = make([]uint64, c.cfg.BanksPerRank)
+		}
+	}
+}
+
+// Stats returns a copy of the accumulated counters.
+func (c *Controller) Stats() Stats {
+	out := c.stats
+	out.PerSliceAccesses = append([]uint64(nil), c.stats.PerSliceAccesses...)
+	out.PerBankAccesses = make([][][]uint64, len(c.stats.PerBankAccesses))
+	for s := range c.stats.PerBankAccesses {
+		out.PerBankAccesses[s] = make([][]uint64, len(c.stats.PerBankAccesses[s]))
+		for ch := range c.stats.PerBankAccesses[s] {
+			out.PerBankAccesses[s][ch] = append([]uint64(nil), c.stats.PerBankAccesses[s][ch]...)
+		}
+	}
+	return out
+}
+
+// IdleLatency returns the round-trip latency of a row-miss access to an
+// idle bank, in ns — the paper's "≈100 cycles RT (idle)" at 2.4 GHz.
+func (c *Controller) IdleLatency() float64 {
+	return c.cfg.TRCD + c.cfg.TCAS + c.cfg.BurstNs
+}

@@ -1,0 +1,247 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapInvariants(t *testing.T) {
+	c, err := NewController(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Config()
+	f := func(addr uint64) bool {
+		slice, ch, bnk, row := c.Map(addr)
+		return slice >= 0 && slice < cfg.Slices &&
+			ch >= 0 && ch < cfg.Channels &&
+			bnk >= 0 && bnk < cfg.BanksPerRank &&
+			row >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// All lines of one row chunk must map to the same bank and row; adjacent
+// chunks must not alias to the same (bank, row).
+func TestMapRowChunksCohere(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	cfg := c.Config()
+	base := uint64(7) << 31
+	s0, c0, b0, r0 := c.Map(base)
+	for off := 64; off < cfg.RowBytes; off += 64 {
+		s, ch, b, r := c.Map(base + uint64(off))
+		if s != s0 || ch != c0 || b != b0 || r != r0 {
+			t.Fatalf("line at +%d left its row chunk", off)
+		}
+	}
+	s1, c1, b1, r1 := c.Map(base + uint64(cfg.RowBytes))
+	if s1 == s0 && c1 == c0 && b1 == b0 && r1 == r0 {
+		t.Fatal("next row chunk aliases the previous one")
+	}
+}
+
+// Per-thread 1 GiB windows must not all collapse onto one bank (the
+// pathology the XOR fold exists to prevent).
+func TestMapSpreadsThreadWindows(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	banks := map[[3]int]bool{}
+	for th := 0; th < 8; th++ {
+		s, ch, b, _ := c.Map(uint64(th+1) << 30)
+		banks[[3]int{s, ch, b}] = true
+	}
+	if len(banks) < 4 {
+		t.Fatalf("8 thread windows landed on only %d distinct banks", len(banks))
+	}
+}
+
+// A single sequential stream must enjoy a high row-hit rate; uniformly
+// random traffic must not.
+func TestRowBufferLocality(t *testing.T) {
+	seq, _ := NewController(DefaultConfig())
+	now := 0.0
+	for i := 0; i < 20000; i++ {
+		now = seq.Access(now, uint64(i*64), false) + 5
+	}
+	st := seq.Stats()
+	hit := float64(st.RowHits) / float64(st.RowHits+st.RowMisses)
+	if hit < 0.9 {
+		t.Fatalf("sequential row-hit rate %.3f, want >0.9", hit)
+	}
+
+	rnd, _ := NewController(DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	now = 0
+	for i := 0; i < 20000; i++ {
+		now = rnd.Access(now, uint64(rng.Int63n(1<<32))&^63, false) + 5
+	}
+	st = rnd.Stats()
+	hit = float64(st.RowHits) / float64(st.RowHits+st.RowMisses)
+	if hit > 0.2 {
+		t.Fatalf("random row-hit rate %.3f, want <0.2", hit)
+	}
+}
+
+func TestAccessTimingMonotone(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	// A read must complete after it was issued, by at least tCAS+burst.
+	done := c.Access(1000, 0x1234000, false)
+	if done < 1000+c.cfg.TCAS+c.cfg.BurstNs {
+		t.Fatalf("completion %.1f too early", done)
+	}
+	// Back-to-back reads to the same bank serialise.
+	d2 := c.Access(1000.5, 0x1234040, false)
+	if d2 <= done {
+		t.Fatalf("second access on the same channel finished before the first (%.1f <= %.1f)", d2, done)
+	}
+}
+
+func TestIdleLatencyMatchesPaper(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	// Table 3: DRAM access ≈100 cycles round trip (idle) at 2.4 GHz,
+	// i.e. ≈42 ns. Allow the open-page hit path to be faster.
+	lat := c.IdleLatency()
+	cycles := lat * 2.4
+	if cycles < 60 || cycles > 130 {
+		t.Fatalf("idle latency = %.1f ns (%.0f cycles at 2.4 GHz), want ≈100 cycles", lat, cycles)
+	}
+}
+
+func TestPostedWritesDoNotBlockReads(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	// Saturate with writes, then check a read's latency is unaffected.
+	for i := 0; i < 1000; i++ {
+		c.Access(10, uint64(i)*2048, true)
+	}
+	start := 20.0
+	done := c.Access(start, 1<<33, false)
+	if done-start > c.cfg.TRCD+c.cfg.TCAS+c.cfg.BurstNs+c.cfg.TRFC+1 {
+		t.Fatalf("read delayed %.1f ns by posted writes", done-start)
+	}
+	st := c.Stats()
+	if st.Writes != 1000 || st.Reads != 1 {
+		t.Fatalf("stats: %d writes, %d reads", st.Writes, st.Reads)
+	}
+}
+
+// JEDEC extended range (§7.5): refresh period halves every 10 °C above
+// 85 °C.
+func TestRefreshTemperatureScaling(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	cases := []struct {
+		temp  float64
+		scale float64
+	}{
+		{45, 1}, {85, 1}, {86, 2}, {95, 2}, {95.5, 4}, {105.5, 8},
+	}
+	for _, cse := range cases {
+		c.SetTemperature(cse.temp)
+		if got := c.RefreshPeriodScale(); got != cse.scale {
+			t.Errorf("at %.1f°C scale = %g, want %g", cse.temp, got, cse.scale)
+		}
+	}
+}
+
+// Higher temperature must produce more refreshes over the same access
+// pattern.
+func TestHotterMeansMoreRefreshes(t *testing.T) {
+	run := func(temp float64) uint64 {
+		c, _ := NewController(DefaultConfig())
+		c.SetTemperature(temp)
+		now := 0.0
+		for i := 0; i < 30000; i++ {
+			now = c.Access(now, uint64(i)*64, false) + 20
+		}
+		return c.Stats().Refreshes
+	}
+	cool, hot := run(45), run(95)
+	if hot <= cool {
+		t.Fatalf("refreshes at 95°C (%d) not above 45°C (%d)", hot, cool)
+	}
+	ratio := float64(hot) / float64(cool)
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("refresh ratio %.2f, want ≈2 (period halves at 95°C)", ratio)
+	}
+}
+
+func TestPerSliceAccounting(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	n := 50000
+	now := 0.0
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		now = c.Access(now, uint64(rng.Int63n(1<<34))&^63, false) + 2
+	}
+	st := c.Stats()
+	var total uint64
+	for _, s := range st.PerSliceAccesses {
+		total += s
+	}
+	if total != uint64(n) {
+		t.Fatalf("per-slice accesses sum to %d, want %d", total, n)
+	}
+	var bankTotal uint64
+	for _, s := range st.PerBankAccesses {
+		for _, ch := range s {
+			for _, b := range ch {
+				bankTotal += b
+			}
+		}
+	}
+	if bankTotal != uint64(n) {
+		t.Fatalf("per-bank accesses sum to %d, want %d", bankTotal, n)
+	}
+	// Random traffic should spread across all slices.
+	for s, v := range st.PerSliceAccesses {
+		if v == 0 {
+			t.Fatalf("slice %d received no accesses under random traffic", s)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	c.Access(0, 0, false)
+	c.ResetStats()
+	st := c.Stats()
+	if st.Reads != 0 || st.RowMisses != 0 {
+		t.Fatal("ResetStats left counters")
+	}
+	if len(st.PerSliceAccesses) != c.Config().Slices {
+		t.Fatal("ResetStats broke per-slice shape")
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Channels = 0
+	if _, err := NewController(bad); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.TCAS = 0
+	if _, err := NewController(bad2); err == nil {
+		t.Fatal("zero tCAS accepted")
+	}
+}
+
+func TestSliceCountVariants(t *testing.T) {
+	for _, slices := range []int{4, 8, 12} {
+		cfg := DefaultConfig()
+		cfg.Slices = slices
+		c, err := NewController(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 100000; i += 997 {
+			s, _, _, _ := c.Map(uint64(i) * 64 * 31)
+			seen[s] = true
+		}
+		if len(seen) != slices {
+			t.Fatalf("%d slices configured, %d observed in mapping", slices, len(seen))
+		}
+	}
+}

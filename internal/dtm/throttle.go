@@ -1,0 +1,97 @@
+package dtm
+
+import (
+	"fmt"
+
+	"github.com/xylem-sim/xylem/internal/perf"
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
+	"github.com/xylem-sim/xylem/internal/workload"
+)
+
+// ThrottleSample is one control interval of a transient DTM run.
+type ThrottleSample struct {
+	TimeMs   float64
+	FreqGHz  float64
+	HotC     float64
+	Throttle bool
+}
+
+// ThrottleTrace runs a closed-loop reactive DTM simulation: every control
+// period the controller reads the processor hotspot and steps the DVFS
+// level down when it exceeds the limit (minus a small guard band) or back
+// up when headroom reappears — the behaviour §7.2 assumes when it says a
+// real machine "would throttle frequencies to prevent excessive
+// temperatures". The trace starts from a cold (ambient) stack running n
+// threads of app at the DVFS ceiling.
+//
+// On the base stack a hot application saw-tooths against the limit; on a
+// Xylem stack the same workload settles at a higher frequency. The
+// examples and tests use this to visualise what the steady-state
+// experiments summarise.
+func (c *Controller) ThrottleTrace(st *stack.Stack, app workload.Profile, nThreads int, periodMs float64, steps int) ([]ThrottleSample, error) {
+	if nThreads < 1 || nThreads > c.Ev.SimCfg.Cores {
+		return nil, fmt.Errorf("dtm: %d threads for %d cores", nThreads, c.Ev.SimCfg.Cores)
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("dtm: need at least one step")
+	}
+	solver, err := thermal.NewSolver(st.Model)
+	if err != nil {
+		return nil, err
+	}
+	assigns := perf.UniformAssignments(app, nThreads)
+
+	// Pre-compute power maps per DVFS level (activity is cached).
+	levels := c.DVFS.Levels()
+	maps := make([]thermal.PowerMap, len(levels))
+	for i, f := range levels {
+		res, err := c.Ev.Activity(st.Cfg.NumDRAMDies, c.Uniform(f), assigns)
+		if err != nil {
+			return nil, err
+		}
+		maps[i], err = c.Ev.PowerMap(st, c.Uniform(f), res, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ts := solver.NewTransientAmbient()
+	level := len(levels) - 1 // start optimistic, at the ceiling
+	const guardC = 1.0
+	var out []ThrottleSample
+	for i := 0; i < steps; i++ {
+		if err := ts.Step(maps[level], periodMs*1e-3); err != nil {
+			return nil, err
+		}
+		hot, _ := ts.Field().Max(st.ProcMetalLayer)
+		sample := ThrottleSample{
+			TimeMs:  float64(i+1) * periodMs,
+			FreqGHz: levels[level],
+			HotC:    hot,
+		}
+		switch {
+		case hot > c.Limits.ProcMaxC && level > 0:
+			level--
+			sample.Throttle = true
+		case hot < c.Limits.ProcMaxC-guardC && level < len(levels)-1:
+			level++
+		}
+		out = append(out, sample)
+	}
+	return out, nil
+}
+
+// SettledFrequency returns the mean frequency over the last quarter of a
+// throttle trace — the level the control loop converged around.
+func SettledFrequency(trace []ThrottleSample) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	start := len(trace) * 3 / 4
+	sum := 0.0
+	for _, s := range trace[start:] {
+		sum += s.FreqGHz
+	}
+	return sum / float64(len(trace)-start)
+}

@@ -1,0 +1,70 @@
+package dtm
+
+import (
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/stack"
+)
+
+func TestThrottleTraceConvergesUnderLimit(t *testing.T) {
+	c, stacks := smallController(t)
+	app := smallApp(t, "lu-nas")
+	st := stacks[stack.Base]
+	trace, err := c.ThrottleTrace(st, app, 8, 10, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 80 {
+		t.Fatalf("%d samples", len(trace))
+	}
+	// Time must advance monotonically.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].TimeMs <= trace[i-1].TimeMs {
+			t.Fatal("time not monotone")
+		}
+	}
+	// The last quarter must respect the limit within the control slack
+	// (one period of overshoot at most).
+	for _, s := range trace[60:] {
+		if s.HotC > c.Limits.ProcMaxC+3 {
+			t.Fatalf("late sample at %.2f °C, limit %.0f", s.HotC, c.Limits.ProcMaxC)
+		}
+	}
+	f := SettledFrequency(trace)
+	if f < c.DVFS.MinGHz || f > c.DVFS.MaxGHz {
+		t.Fatalf("settled frequency %.2f outside the DVFS range", f)
+	}
+}
+
+// The control loop must settle at least as high on banke as on base for a
+// hot workload.
+func TestThrottleSettlesHigherOnBankE(t *testing.T) {
+	c, stacks := smallController(t)
+	app := smallApp(t, "lu-nas")
+	base, err := c.ThrottleTrace(stacks[stack.Base], app, 8, 10, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banke, err := c.ThrottleTrace(stacks[stack.BankE], app, 8, 10, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SettledFrequency(banke) < SettledFrequency(base)-0.05 {
+		t.Fatalf("banke settled at %.2f GHz, below base %.2f GHz",
+			SettledFrequency(banke), SettledFrequency(base))
+	}
+}
+
+func TestThrottleTraceValidation(t *testing.T) {
+	c, stacks := smallController(t)
+	app := smallApp(t, "fft")
+	if _, err := c.ThrottleTrace(stacks[stack.Base], app, 0, 10, 5); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+	if _, err := c.ThrottleTrace(stacks[stack.Base], app, 8, 10, 0); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	if f := SettledFrequency(nil); f != 0 {
+		t.Fatalf("SettledFrequency(nil) = %g", f)
+	}
+}

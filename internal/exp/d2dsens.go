@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/xylem-sim/xylem/internal/core"
+	"github.com/xylem-sim/xylem/internal/material"
+	"github.com/xylem-sim/xylem/internal/stack"
+)
+
+// D2DSensRow quantifies §2.5's central argument: prior CAD/architecture
+// work assumed far higher D2D-layer conductivities than were later
+// measured (up to λ=100 W/mK [36] against the measured ≈1.5 W/mK), which
+// made TTSVs-without-shorting look effective. Each row evaluates the
+// stack under one assumed λ_D2D and reports how much of the temperature
+// problem — and of the unshorted-TTSV (prior) benefit — survives.
+type D2DSensRow struct {
+	// LambdaD2D is the assumed average D2D conductivity, W/(m·K).
+	LambdaD2D float64
+	// BaseC is the base-scheme processor hotspot at 2.4 GHz.
+	BaseC float64
+	// PriorDropC is the temperature reduction unshorted TTSVs achieve
+	// under this assumption (prior work's claim).
+	PriorDropC float64
+	// ShortDropC is the reduction from full alignment and shorting
+	// (Xylem's banke).
+	ShortDropC float64
+}
+
+// D2DSensitivity sweeps the assumed D2D conductivity across the values
+// used in the literature the paper criticises: the measured 1.5 W/mK
+// (IBM/Matsumoto), 1.08 (IMEC wafer-to-wafer), and the optimistic 10 and
+// 100 W/mK assumptions of prior proposals. It demonstrates the paper's
+// point quantitatively: under optimistic λ_D2D the D2D layers stop being
+// the bottleneck, the stack runs cool, and TTSV placement alone appears
+// adequate — which is exactly how prior work reached its conclusions.
+func (r *Runner) D2DSensitivity() ([]D2DSensRow, Table, error) {
+	app, err := r.app(r.hotAppName())
+	if err != nil {
+		return nil, Table{}, err
+	}
+	baseF := r.Sys.Cfg.BaseGHz
+
+	values := []float64{1.08, material.D2DUnderfill.Conductivity, 10, 100}
+	var rows []D2DSensRow
+	for _, lam := range values {
+		cfg := r.Sys.Cfg
+		cfg.Stack.D2DLambda = lam
+		cfg.Stack.D2DBusLambda = lam
+		sys, err := core.NewSystemSharing(cfg, r.Sys.Ev)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		base, err := sys.EvaluateUniform(stack.Base, app, baseF)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		prior, err := sys.EvaluateUniform(stack.Prior, app, baseF)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		banke, err := sys.EvaluateUniform(stack.BankE, app, baseF)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		rows = append(rows, D2DSensRow{
+			LambdaD2D:  lam,
+			BaseC:      base.ProcHotC,
+			PriorDropC: base.ProcHotC - prior.ProcHotC,
+			ShortDropC: base.ProcHotC - banke.ProcHotC,
+		})
+	}
+
+	t := Table{
+		Title:  "§2.5 sensitivity: assumed D2D conductivity vs conclusions (hot app, 2.4 GHz)",
+		Header: []string{"λ_D2D (W/mK)", "base hotspot (°C)", "ΔT TTSVs only (prior)", "ΔT aligned+shorted (banke)"},
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", row.LambdaD2D), f1(row.BaseC), f1(row.PriorDropC), f1(row.ShortDropC),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"measured values: 1.5 W/mK (IBM [9,11], Matsumoto [39]); 1.08 (IMEC [45]); prior work assumed up to 100 [36]",
+		"under optimistic λ_D2D the stack runs cool and unshorted TTSVs look adequate — the paper's explanation of prior conclusions")
+	return rows, t, nil
+}

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"github.com/xylem-sim/xylem/internal/core"
+	"github.com/xylem-sim/xylem/internal/stack"
+)
+
+// BoostRow holds one application's iso-temperature boost results for the
+// bank and banke schemes, feeding Figures 9-12.
+type BoostRow struct {
+	App   string
+	Bank  core.BoostResult
+	BankE core.BoostResult
+}
+
+// BoostSweep runs the §7.3 boost experiment for every selected app. The
+// results feed Figures 9 (frequency), 10 (performance), 11 (power) and
+// 12 (energy).
+func (r *Runner) BoostSweep() ([]BoostRow, error) {
+	apps, err := r.apps()
+	if err != nil {
+		return nil, err
+	}
+	var out []BoostRow
+	for _, app := range apps {
+		bank, err := r.Sys.IsoTemperatureBoost(stack.Bank, app)
+		if err != nil {
+			return nil, err
+		}
+		banke, err := r.Sys.IsoTemperatureBoost(stack.BankE, app)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BoostRow{App: app.Name, Bank: bank, BankE: banke})
+	}
+	return out, nil
+}
+
+// Figure9 reports the iso-temperature frequency increase over base
+// (Fig. 9): the paper's means are 400 MHz (bank) and 720 MHz (banke).
+func (r *Runner) Figure9(rows []BoostRow) Table {
+	t := Table{
+		Title:  "Figure 9: system frequency increase over base at iso-temperature (MHz)",
+		Header: []string{"app", "bank", "banke"},
+	}
+	var bankF, bankeF []float64
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{row.App, mhz(row.Bank.FreqGainMHz()), mhz(row.BankE.FreqGainMHz())})
+		bankF = append(bankF, row.Bank.FreqGainMHz())
+		bankeF = append(bankeF, row.BankE.FreqGainMHz())
+	}
+	t.Rows = append(t.Rows, []string{"mean", mhz(arithMean(bankF)), mhz(arithMean(bankeF))})
+	t.Notes = append(t.Notes, "paper means: bank +400 MHz, banke +720 MHz")
+	return t
+}
+
+// Figure10 reports the application performance gain from the boost
+// (Fig. 10): paper means 11% (bank) and 18% (banke).
+func (r *Runner) Figure10(rows []BoostRow) Table {
+	t := Table{
+		Title:  "Figure 10: application performance gain over base (%)",
+		Header: []string{"app", "bank", "banke"},
+	}
+	var bankG, bankeG []float64
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{row.App, pct(row.Bank.PerfGain()), pct(row.BankE.PerfGain())})
+		bankG = append(bankG, row.Bank.PerfGain())
+		bankeG = append(bankeG, row.BankE.PerfGain())
+	}
+	t.Rows = append(t.Rows, []string{"geo-mean", pct(geoMeanRatio(bankG)), pct(geoMeanRatio(bankeG))})
+	t.Notes = append(t.Notes, "paper means: bank +11%, banke +18%")
+	return t
+}
+
+// Figure11 reports the stack power increase from the boost (Fig. 11):
+// paper means +12% (bank) and +22% (banke).
+func (r *Runner) Figure11(rows []BoostRow) Table {
+	t := Table{
+		Title:  "Figure 11: stack power increase over base (%)",
+		Header: []string{"app", "bank", "banke"},
+	}
+	var bankP, bankeP []float64
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{row.App, pct(row.Bank.PowerChange()), pct(row.BankE.PowerChange())})
+		bankP = append(bankP, row.Bank.PowerChange())
+		bankeP = append(bankeP, row.BankE.PowerChange())
+	}
+	t.Rows = append(t.Rows, []string{"geo-mean", pct(geoMeanRatio(bankP)), pct(geoMeanRatio(bankeP))})
+	t.Notes = append(t.Notes, "paper means: bank +12%, banke +22%")
+	return t
+}
+
+// Figure12 reports the stack energy change (Fig. 12): the paper finds
+// roughly unchanged energy on average (race-to-halt).
+func (r *Runner) Figure12(rows []BoostRow) Table {
+	t := Table{
+		Title:  "Figure 12: stack energy change over base (%)",
+		Header: []string{"app", "bank", "banke"},
+	}
+	var bankE, bankeE []float64
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{row.App, pct(row.Bank.EnergyChange()), pct(row.BankE.EnergyChange())})
+		bankE = append(bankE, row.Bank.EnergyChange())
+		bankeE = append(bankeE, row.BankE.EnergyChange())
+	}
+	t.Rows = append(t.Rows, []string{"geo-mean", pct(geoMeanRatio(bankE)), pct(geoMeanRatio(bankeE))})
+	t.Notes = append(t.Notes, "paper: ≈0% on average (race-to-halt effects)")
+	return t
+}

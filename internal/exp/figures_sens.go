@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/xylem-sim/xylem/internal/core"
+	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/stack"
+)
+
+// sensSchemes are the schemes the sensitivity studies compare.
+var sensSchemes = []stack.SchemeKind{stack.Base, stack.Bank, stack.BankE}
+
+// SensitivityRow is one bar group of Figs. 18/19: the mean processor
+// hotspot across apps at the base frequency for each scheme.
+type SensitivityRow struct {
+	// Value is the swept parameter: die thickness in µm (Fig. 18) or the
+	// number of memory dies (Fig. 19).
+	Value  float64
+	MeanC  map[stack.SchemeKind]float64
+	Labels []string
+}
+
+// Figure18 sweeps the die thickness (50/100/200 µm, Fig. 18): thinner
+// dies inhibit lateral spreading and run hotter.
+func (r *Runner) Figure18() ([]SensitivityRow, Table, error) {
+	return r.sensitivity(
+		"Figure 18: impact of die thickness on mean processor hotspot (°C)",
+		"thickness",
+		[]float64{50, 100, 200},
+		func(cfg *stack.Config, v float64) {
+			cfg.DieThickness = v * geom.Micron
+		},
+		"paper: temperatures worsen as dies are thinned",
+	)
+}
+
+// Figure19 sweeps the number of stacked memory dies (4/8/12, Fig. 19):
+// more dies add power and distance to the sink.
+func (r *Runner) Figure19() ([]SensitivityRow, Table, error) {
+	return r.sensitivity(
+		"Figure 19: impact of memory-die count on mean processor hotspot (°C)",
+		"dies",
+		[]float64{4, 8, 12},
+		func(cfg *stack.Config, v float64) {
+			cfg.NumDRAMDies = int(v)
+		},
+		"paper: temperatures worsen with more memory dies",
+	)
+}
+
+func (r *Runner) sensitivity(title, param string, values []float64, apply func(*stack.Config, float64), note string) ([]SensitivityRow, Table, error) {
+	apps, err := r.apps()
+	if err != nil {
+		return nil, Table{}, err
+	}
+	baseF := r.Sys.Cfg.BaseGHz
+	var rows []SensitivityRow
+	for _, v := range values {
+		cfg := r.Sys.Cfg
+		apply(&cfg.Stack, v)
+		// Share the activity cache across the sweep: the workload
+		// behaviour does not depend on the stack geometry. Only the
+		// DRAM die count feeds back into the memory model, so Fig. 19
+		// re-simulates per point.
+		sys, err := core.NewSystemSharing(cfg, r.Sys.Ev)
+		if err != nil {
+			return nil, Table{}, fmt.Errorf("exp: %s=%g: %w", param, v, err)
+		}
+		row := SensitivityRow{Value: v, MeanC: map[stack.SchemeKind]float64{}}
+		for _, k := range sensSchemes {
+			var temps []float64
+			for _, app := range apps {
+				o, err := sys.EvaluateUniform(k, app, baseF)
+				if err != nil {
+					return nil, Table{}, err
+				}
+				temps = append(temps, o.ProcHotC)
+			}
+			row.MeanC[k] = arithMean(temps)
+		}
+		rows = append(rows, row)
+	}
+	t := Table{Title: title, Header: []string{param, "base", "bank", "banke"}}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", row.Value),
+			f1(row.MeanC[stack.Base]), f1(row.MeanC[stack.Bank]), f1(row.MeanC[stack.BankE]),
+		})
+	}
+	t.Notes = append(t.Notes, note)
+	return rows, t, nil
+}
+
+// AreaRow is one §7.1 scheme-overhead entry.
+type AreaRow struct {
+	Scheme    stack.SchemeKind
+	TTSVs     int
+	AreaMM2   float64
+	Overhead  float64
+	DieAreaMM float64
+}
+
+// TableArea reproduces the §7.1 area-overhead arithmetic: 0.0144 mm² per
+// TTSV+KOZ, 0.4032 mm² (0.63%) for bank and 0.5184 mm² (0.81%) for banke.
+func (r *Runner) TableArea() ([]AreaRow, Table, error) {
+	var rows []AreaRow
+	for _, k := range stack.AllSchemes {
+		st := r.Sys.Stack(k)
+		dieArea := st.DRAM.Area()
+		rows = append(rows, AreaRow{
+			Scheme:    k,
+			TTSVs:     st.Scheme.TTSVCount(),
+			AreaMM2:   float64(st.Scheme.TTSVCount()) * st.Scheme.Spec.AreaWithKOZ() / 1e-6,
+			Overhead:  st.Scheme.AreaOverhead(dieArea),
+			DieAreaMM: dieArea / 1e-6,
+		})
+	}
+	t := Table{
+		Title:  "§7.1: TTSV area overheads",
+		Header: []string{"scheme", "TTSVs/die", "TTSV area (mm²)", "die area (mm²)", "overhead"},
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{
+			row.Scheme.String(),
+			fmt.Sprintf("%d", row.TTSVs),
+			fmt.Sprintf("%.4f", row.AreaMM2),
+			fmt.Sprintf("%.2f", row.DieAreaMM),
+			fmt.Sprintf("%.2f%%", row.Overhead*100),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: bank 0.4032 mm² (0.63%), banke 0.5184 mm² (0.81%)")
+	return rows, t, nil
+}

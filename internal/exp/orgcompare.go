@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"github.com/xylem-sim/xylem/internal/core"
+	"github.com/xylem-sim/xylem/internal/stack"
+)
+
+// OrgRow is one row of the §3 organisation comparison: the processor and
+// hottest-memory-die hotspots for one stack organisation and scheme.
+type OrgRow struct {
+	Org       string
+	Scheme    stack.SchemeKind
+	ProcHotC  float64
+	DRAM0HotC float64
+}
+
+// OrgCompare quantifies §3's trade-off: "processor-on-top" puts the hot
+// die next to the sink (thermally easy, manufacturing-hostile:
+// §3.1); "memory-on-top" is manufacturable but buries the processor
+// under the whole DRAM stack (§3.2) — which is why Xylem is needed at
+// all. The experiment runs the hot application at the base frequency on
+// both organisations with base and banke.
+func (r *Runner) OrgCompare() ([]OrgRow, Table, error) {
+	app, err := r.app(r.hotAppName())
+	if err != nil {
+		return nil, Table{}, err
+	}
+	baseF := r.Sys.Cfg.BaseGHz
+
+	var rows []OrgRow
+	for _, procOnTop := range []bool{false, true} {
+		name := "memory-on-top"
+		sys := r.Sys
+		if procOnTop {
+			name = "proc-on-top"
+			cfg := r.Sys.Cfg
+			cfg.Stack.ProcOnTop = true
+			sys, err = core.NewSystemSharing(cfg, r.Sys.Ev)
+			if err != nil {
+				return nil, Table{}, err
+			}
+		}
+		for _, k := range []stack.SchemeKind{stack.Base, stack.BankE} {
+			o, err := sys.EvaluateUniform(k, app, baseF)
+			if err != nil {
+				return nil, Table{}, err
+			}
+			rows = append(rows, OrgRow{
+				Org: name, Scheme: k,
+				ProcHotC: o.ProcHotC, DRAM0HotC: o.DRAM0HotC,
+			})
+		}
+	}
+
+	t := Table{
+		Title:  "§3 organisation trade-off: proc hotspot at 2.4 GHz (hot app)",
+		Header: []string{"organisation", "scheme", "proc (°C)", "hottest DRAM (°C)"},
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{row.Org, row.Scheme.String(), f1(row.ProcHotC), f1(row.DRAM0HotC)})
+	}
+	t.Notes = append(t.Notes,
+		"proc-on-top is thermally easy (the paper's §3.1) but needs the memory vendor to provision the processor's ~1000 power/ground/IO TSVs — the manufacturing cost that motivates memory-on-top plus Xylem",
+		"with the processor next to the sink, the µbump-TTSV pillars matter far less: the processor's heat no longer crosses the D2D layers")
+	return rows, t, nil
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/xylem-sim/xylem/internal/material"
+	"github.com/xylem-sim/xylem/internal/stack"
+)
+
+// StackProfileRow is one layer of the vertical heat path: its theoretical
+// sheet resistance and the measured mean temperature drop across it for a
+// hot workload. Summed over the eight D2D layers, the drops demonstrate
+// the paper's core claim — the D2D layers, not the bulk silicon, are the
+// thermal bottleneck (§2.5).
+type StackProfileRow struct {
+	Layer string
+	// RthMM2KPerW is the layer's t/λ sheet resistance in mm²K/W, using
+	// the layer's mean conductivity.
+	RthMM2KPerW float64
+	// MeanC is the layer's mean temperature (at the layer's mid-plane).
+	MeanC float64
+	// DropToAboveC is the mean temperature drop from this layer's
+	// mid-plane to the next layer's mid-plane (0 for the top layer).
+	DropToAboveC float64
+	// InternalDropC is the estimated drop across this layer itself:
+	// mid-plane-to-mid-plane drops are attributed to the two straddled
+	// half-layers in proportion to their resistances.
+	InternalDropC float64
+}
+
+// StackProfile runs the hot application at the base frequency on the
+// given scheme and reports the per-layer vertical profile.
+func (r *Runner) StackProfile(kind stack.SchemeKind) ([]StackProfileRow, Table, error) {
+	app, err := r.app(r.hotAppName())
+	if err != nil {
+		return nil, Table{}, err
+	}
+	o, err := r.Sys.EvaluateUniform(kind, app, r.Sys.Cfg.BaseGHz)
+	if err != nil {
+		return nil, Table{}, err
+	}
+	st := r.Sys.Stack(kind)
+
+	means := make([]float64, len(st.Model.Layers))
+	for li := range st.Model.Layers {
+		sum := 0.0
+		for _, v := range o.Temps[li] {
+			sum += v
+		}
+		means[li] = sum / float64(len(o.Temps[li]))
+	}
+
+	var rows []StackProfileRow
+	for li, layer := range st.Model.Layers {
+		lamSum := 0.0
+		for _, v := range layer.Lambda {
+			lamSum += v
+		}
+		meanLam := lamSum / float64(len(layer.Lambda))
+		row := StackProfileRow{
+			Layer:       layer.Name,
+			RthMM2KPerW: material.MM2KPerW(layer.Thickness / meanLam),
+			MeanC:       means[li],
+		}
+		if li+1 < len(means) {
+			row.DropToAboveC = means[li] - means[li+1]
+		}
+		rows = append(rows, row)
+	}
+	// Attribute each mid-plane-to-mid-plane drop to the two straddled
+	// half-layers in proportion to their sheet resistances, recovering
+	// each layer's internal drop.
+	for li := 0; li+1 < len(rows); li++ {
+		rLo, rHi := rows[li].RthMM2KPerW, rows[li+1].RthMM2KPerW
+		if rLo+rHi <= 0 {
+			continue
+		}
+		drop := rows[li].DropToAboveC
+		rows[li].InternalDropC += drop * rLo / (rLo + rHi)
+		rows[li+1].InternalDropC += drop * rHi / (rLo + rHi)
+	}
+
+	t := Table{
+		Title: fmt.Sprintf("Vertical stack profile (%s, %s @ %.1f GHz)",
+			kind, r.hotAppName(), r.Sys.Cfg.BaseGHz),
+		Header: []string{"layer", "Rth (mm²K/W)", "mean T (°C)", "ΔT within layer (°C)"},
+	}
+	var d2dDrop, siDrop float64
+	for li := len(rows) - 1; li >= 0; li-- {
+		row := rows[li]
+		t.Rows = append(t.Rows, []string{
+			row.Layer, f2(row.RthMM2KPerW), f1(row.MeanC), f2(row.InternalDropC),
+		})
+		if strings.HasPrefix(row.Layer, "d2d") {
+			d2dDrop += row.InternalDropC
+		}
+		if strings.Contains(row.Layer, "silicon") {
+			siDrop += row.InternalDropC
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("total drop across the %d D2D layers: %.1f °C; across all silicon layers: %.1f °C",
+			len(st.D2DLayers), d2dDrop, siDrop),
+		"the D2D layers dominate the vertical resistance — the paper's central observation")
+	return rows, t, nil
+}
+
+// D2DDropShare returns the fraction of the total vertical temperature
+// drop carried inside the D2D layers (used in tests: the paper's claim
+// implies this dominates every other layer class).
+func D2DDropShare(rows []StackProfileRow) float64 {
+	var d2d, total float64
+	for _, row := range rows {
+		if row.InternalDropC > 0 {
+			total += row.InternalDropC
+		}
+		if strings.HasPrefix(row.Layer, "d2d") && row.InternalDropC > 0 {
+			d2d += row.InternalDropC
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return d2d / total
+}

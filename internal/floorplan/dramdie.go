@@ -1,0 +1,183 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+)
+
+// DRAMConfig parameterises a Wide I/O DRAM slice floorplan. The defaults
+// give an 8 mm × 8 mm (≈64 mm²) slice — the paper's dies are ≈64.34 mm²,
+// matching Samsung's Wide I/O prototype — holding a 4×4 bank array (4
+// ranks × 4 banks, one rank per channel) separated by peripheral-logic
+// strips, with a wider central strip that carries the 1,200-TSV Wide I/O
+// bus.
+type DRAMConfig struct {
+	Width, Height float64
+	// StripW is the width of the thin peripheral-logic strips that
+	// separate banks and ring the die edge, metres.
+	StripW float64
+	// CentreStripH is the height of the wide central peripheral strip
+	// containing the TSV bus, metres.
+	CentreStripH float64
+	// TSVBusW and TSVBusH size the TSV-bus block placed at the die centre
+	// (48 sub-blocks of 5×5 TSVs in the thermal model).
+	TSVBusW, TSVBusH float64
+}
+
+// DefaultDRAMConfig returns the slice geometry used in the evaluation.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		Width:        8.0 * geom.Millimetre,
+		Height:       8.0 * geom.Millimetre,
+		StripW:       0.2 * geom.Millimetre,
+		CentreStripH: 1.0 * geom.Millimetre,
+		TSVBusW:      2.4 * geom.Millimetre,
+		TSVBusH:      0.4 * geom.Millimetre,
+	}
+}
+
+// SliceGeometry records the derived strip/bank coordinates the stack
+// builder needs to place TTSVs in peripheral logic (the paper's Fig. 5
+// schemes). All coordinates are metres.
+type SliceGeometry struct {
+	Cfg DRAMConfig
+	// HStripCentres are the Y centres of the five horizontal peripheral
+	// strips, bottom to top. Index 2 is the wide central strip.
+	HStripCentres [5]float64
+	// VStripCentres are the X centres of the five vertical peripheral
+	// strips, left to right.
+	VStripCentres [5]float64
+	// BankXCentres are the X centres of the four bank columns.
+	BankXCentres [4]float64
+	// BankYCentres are the Y centres of the four bank rows.
+	BankYCentres [4]float64
+	// BankW and BankH are the bank array dimensions.
+	BankW, BankH float64
+}
+
+// CentreStripRect returns the rectangle of the wide central strip.
+func (g SliceGeometry) CentreStripRect() geom.Rect {
+	return geom.NewRect(0, g.HStripCentres[2]-g.Cfg.CentreStripH/2, g.Cfg.Width, g.Cfg.CentreStripH)
+}
+
+// BuildDRAMSlice constructs one Wide I/O slice floorplan plus its derived
+// geometry. Bank block names are "bank_ch{c}b{b}" where c is the channel
+// (= rank within the slice) owning the quadrant and b the bank within the
+// rank, matching the Wide I/O organisation of Fig. 1.
+func BuildDRAMSlice(cfg DRAMConfig) (*Floorplan, SliceGeometry, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, SliceGeometry{}, fmt.Errorf("floorplan: non-positive DRAM die dimensions")
+	}
+	bankW := (cfg.Width - 5*cfg.StripW) / 4
+	bankH := (cfg.Height - 4*cfg.StripW - cfg.CentreStripH) / 4
+	if bankW <= 0 || bankH <= 0 {
+		return nil, SliceGeometry{}, fmt.Errorf("floorplan: strips leave no room for banks")
+	}
+
+	// Vertical extents, bottom to top:
+	//   strip | bank row0 | strip | bank row1 | centre strip |
+	//   bank row2 | strip | bank row3 | strip
+	yStrip0 := 0.0
+	yRow0 := yStrip0 + cfg.StripW
+	yStrip1 := yRow0 + bankH
+	yRow1 := yStrip1 + cfg.StripW
+	yCentre := yRow1 + bankH
+	yRow2 := yCentre + cfg.CentreStripH
+	yStrip3 := yRow2 + bankH
+	yRow3 := yStrip3 + cfg.StripW
+	yStrip4 := yRow3 + bankH
+
+	geomOut := SliceGeometry{Cfg: cfg, BankW: bankW, BankH: bankH}
+	geomOut.HStripCentres = [5]float64{
+		yStrip0 + cfg.StripW/2,
+		yStrip1 + cfg.StripW/2,
+		yCentre + cfg.CentreStripH/2,
+		yStrip3 + cfg.StripW/2,
+		yStrip4 + cfg.StripW/2,
+	}
+	bankYs := [4]float64{yRow0, yRow1, yRow2, yRow3}
+	for i, y := range bankYs {
+		geomOut.BankYCentres[i] = y + bankH/2
+	}
+	xs := [4]float64{}
+	for c := 0; c < 4; c++ {
+		x := cfg.StripW + float64(c)*(bankW+cfg.StripW)
+		xs[c] = x
+		geomOut.BankXCentres[c] = x + bankW/2
+		geomOut.VStripCentres[c] = x - cfg.StripW/2
+	}
+	geomOut.VStripCentres[4] = cfg.Width - cfg.StripW/2
+
+	var blocks []Block
+
+	// Banks. Quadrants own channels: ch0=bottom-left, ch1=bottom-right,
+	// ch2=top-left, ch3=top-right; the 2×2 banks inside a quadrant are
+	// banks 0-3 of that channel's rank on this slice.
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 4; col++ {
+			ch := 0
+			if col >= 2 {
+				ch = 1
+			}
+			if row >= 2 {
+				ch += 2
+			}
+			bank := (row%2)*2 + col%2
+			blocks = append(blocks, Block{
+				Name: fmt.Sprintf("bank_ch%db%d", ch, bank),
+				Kind: UnitDRAMBank,
+				Core: -1,
+				Rect: geom.NewRect(xs[col], bankYs[row], bankW, bankH),
+			})
+		}
+	}
+
+	// TSV bus at the die centre, inside the central strip.
+	bus := centreRect(geom.NewRect(0, 0, cfg.Width, cfg.Height), cfg.TSVBusW, cfg.TSVBusH)
+	if bus.Min.Y < yCentre || bus.Max.Y > yRow2 {
+		return nil, SliceGeometry{}, fmt.Errorf("floorplan: TSV bus taller than the centre strip")
+	}
+	blocks = append(blocks, Block{Name: "tsvbus", Kind: UnitTSVBus, Core: -1, Rect: bus})
+
+	// Peripheral logic fills everything else. Decompose into:
+	//  - 4 full-width horizontal strips (the thin ones),
+	//  - the centre strip minus the bus carve-out (left, right, below, above),
+	//  - 5 vertical strip segments per bank row.
+	periph := 0
+	addPeriph := func(r geom.Rect) {
+		if r.Empty() || r.Area() < 1e-14 {
+			return
+		}
+		blocks = append(blocks, Block{
+			Name: fmt.Sprintf("periph%d", periph),
+			Kind: UnitDRAMPeriph,
+			Core: -1,
+			Rect: r,
+		})
+		periph++
+	}
+	addPeriph(geom.NewRect(0, yStrip0, cfg.Width, cfg.StripW))
+	addPeriph(geom.NewRect(0, yStrip1, cfg.Width, cfg.StripW))
+	addPeriph(geom.NewRect(0, yStrip3, cfg.Width, cfg.StripW))
+	addPeriph(geom.NewRect(0, yStrip4, cfg.Width, cfg.StripW))
+	// Centre strip around the bus.
+	addPeriph(geom.Rect{Min: geom.Point{X: 0, Y: yCentre}, Max: geom.Point{X: bus.Min.X, Y: yRow2}})
+	addPeriph(geom.Rect{Min: geom.Point{X: bus.Max.X, Y: yCentre}, Max: geom.Point{X: cfg.Width, Y: yRow2}})
+	addPeriph(geom.Rect{Min: geom.Point{X: bus.Min.X, Y: yCentre}, Max: geom.Point{X: bus.Max.X, Y: bus.Min.Y}})
+	addPeriph(geom.Rect{Min: geom.Point{X: bus.Min.X, Y: bus.Max.Y}, Max: geom.Point{X: bus.Max.X, Y: yRow2}})
+	// Vertical segments in each bank row.
+	for _, y := range bankYs {
+		addPeriph(geom.NewRect(0, y, cfg.StripW, bankH))
+		for c := 0; c < 3; c++ {
+			addPeriph(geom.NewRect(xs[c]+bankW, y, cfg.StripW, bankH))
+		}
+		addPeriph(geom.NewRect(cfg.Width-cfg.StripW, y, cfg.StripW, bankH))
+	}
+
+	fp, err := newFloorplan("dram-slice", cfg.Width, cfg.Height, blocks)
+	if err != nil {
+		return nil, SliceGeometry{}, err
+	}
+	return fp, geomOut, nil
+}

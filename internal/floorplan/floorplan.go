@@ -1,0 +1,223 @@
+// Package floorplan generates the die floorplans used by the thermal and
+// power models. It plays the role ArchFP plays in the paper: a rapid
+// pre-RTL floorplanner producing rectangular block layouts.
+//
+// Two floorplans are provided:
+//
+//   - the processor die (Fig. 6 of the paper): eight 4-issue cores around
+//     the periphery, the shared-bus LLC region in the centre, four Wide
+//     I/O memory controllers, and the central TSV bus;
+//   - a Wide I/O DRAM slice (Figs. 1 and 5): a 4×4 bank array separated
+//     by peripheral-logic strips, with a wider central strip carrying the
+//     1,200-TSV Wide I/O bus.
+//
+// All coordinates are physical metres (see geom). Floorplans are validated
+// at construction: blocks must tile the die exactly, with no overlap.
+package floorplan
+
+import (
+	"fmt"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+)
+
+// UnitKind classifies a floorplan block. The power model keys per-block
+// activity off the kind, and the stack builder keys conductivity maps off
+// it (e.g. TSV-bus blocks get the composite Cu/Si conductivity).
+type UnitKind int
+
+const (
+	// UnitOther covers filler/periphery with no special behaviour.
+	UnitOther UnitKind = iota
+	// UnitCoreBlock is an architectural block inside a core (see BlockRole).
+	UnitCoreBlock
+	// UnitLLC is the shared last-level-cache region.
+	UnitLLC
+	// UnitMemCtrl is a Wide I/O DRAM controller on the processor die.
+	UnitMemCtrl
+	// UnitTSVBus is the central Wide I/O TSV bus area.
+	UnitTSVBus
+	// UnitDRAMBank is one DRAM bank array.
+	UnitDRAMBank
+	// UnitDRAMPeriph is DRAM peripheral logic (decoders, pumps, I/O).
+	UnitDRAMPeriph
+)
+
+// String names the unit kind for diagnostics.
+func (k UnitKind) String() string {
+	switch k {
+	case UnitCoreBlock:
+		return "core-block"
+	case UnitLLC:
+		return "llc"
+	case UnitMemCtrl:
+		return "memctrl"
+	case UnitTSVBus:
+		return "tsv-bus"
+	case UnitDRAMBank:
+		return "dram-bank"
+	case UnitDRAMPeriph:
+		return "dram-periph"
+	default:
+		return "other"
+	}
+}
+
+// BlockRole identifies the architectural unit a core-internal block
+// implements. Roles drive the per-block activity→power mapping.
+type BlockRole int
+
+const (
+	RoleNone BlockRole = iota
+	RoleFetch
+	RoleDecode
+	RoleROB
+	RoleIssueQ
+	RoleIntRF
+	RoleIntALU
+	RoleFPU
+	RoleFPRF
+	RoleLSU
+	RoleL1I
+	RoleL1D
+	RoleL2
+)
+
+var roleNames = map[BlockRole]string{
+	RoleNone: "none", RoleFetch: "fetch", RoleDecode: "decode", RoleROB: "rob",
+	RoleIssueQ: "issueq", RoleIntRF: "int-rf", RoleIntALU: "int-alu",
+	RoleFPU: "fpu", RoleFPRF: "fp-rf", RoleLSU: "lsu",
+	RoleL1I: "l1i", RoleL1D: "l1d", RoleL2: "l2",
+}
+
+// String names the block role ("fpu", "l2", ...).
+func (r BlockRole) String() string { return roleNames[r] }
+
+// CoreRoles lists every in-core block role in a stable order.
+var CoreRoles = []BlockRole{
+	RoleFetch, RoleDecode, RoleROB, RoleIssueQ, RoleIntRF, RoleIntALU,
+	RoleFPU, RoleFPRF, RoleLSU, RoleL1I, RoleL1D, RoleL2,
+}
+
+// Block is one rectangle of a floorplan.
+type Block struct {
+	Name string
+	Kind UnitKind
+	// Role is meaningful only for UnitCoreBlock.
+	Role BlockRole
+	// Core is the owning core index (0-7) for core blocks, -1 otherwise.
+	Core int
+	Rect geom.Rect
+}
+
+// Floorplan is a validated set of blocks tiling a rectangular die.
+type Floorplan struct {
+	Name          string
+	Width, Height float64
+	Blocks        []Block
+
+	byName map[string]int
+}
+
+// Area returns the die area in m².
+func (f *Floorplan) Area() float64 { return f.Width * f.Height }
+
+// Find returns the block with the given name.
+func (f *Floorplan) Find(name string) (Block, bool) {
+	i, ok := f.byName[name]
+	if !ok {
+		return Block{}, false
+	}
+	return f.Blocks[i], true
+}
+
+// CoreBlocks returns the blocks belonging to core c, in declaration order.
+func (f *Floorplan) CoreBlocks(c int) []Block {
+	var out []Block
+	for _, b := range f.Blocks {
+		if b.Kind == UnitCoreBlock && b.Core == c {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// CoreRect returns the bounding rectangle of core c's blocks.
+func (f *Floorplan) CoreRect(c int) geom.Rect {
+	first := true
+	var r geom.Rect
+	for _, b := range f.Blocks {
+		if b.Kind != UnitCoreBlock || b.Core != c {
+			continue
+		}
+		if first {
+			r, first = b.Rect, false
+			continue
+		}
+		if b.Rect.Min.X < r.Min.X {
+			r.Min.X = b.Rect.Min.X
+		}
+		if b.Rect.Min.Y < r.Min.Y {
+			r.Min.Y = b.Rect.Min.Y
+		}
+		if b.Rect.Max.X > r.Max.X {
+			r.Max.X = b.Rect.Max.X
+		}
+		if b.Rect.Max.Y > r.Max.Y {
+			r.Max.Y = b.Rect.Max.Y
+		}
+	}
+	return r
+}
+
+// validate checks that blocks are inside the die, pairwise disjoint, and
+// together cover the die area (within a relative tolerance of 1e-6).
+func (f *Floorplan) validate() error {
+	die := geom.NewRect(0, 0, f.Width, f.Height)
+	total := 0.0
+	for i, b := range f.Blocks {
+		if b.Rect.Empty() {
+			return fmt.Errorf("floorplan %s: block %q is empty", f.Name, b.Name)
+		}
+		clip := b.Rect.Intersect(die)
+		if absDiff(clip.Area(), b.Rect.Area()) > 1e-9*die.Area() {
+			return fmt.Errorf("floorplan %s: block %q extends outside the die", f.Name, b.Name)
+		}
+		total += b.Rect.Area()
+		for j := i + 1; j < len(f.Blocks); j++ {
+			o := f.Blocks[j]
+			ov := b.Rect.Intersect(o.Rect)
+			if !ov.Empty() && ov.Area() > 1e-9*die.Area() {
+				return fmt.Errorf("floorplan %s: blocks %q and %q overlap by %.3g mm²",
+					f.Name, b.Name, o.Name, ov.Area()/1e-6)
+			}
+		}
+	}
+	if absDiff(total, die.Area()) > 1e-6*die.Area() {
+		return fmt.Errorf("floorplan %s: blocks cover %.6g mm² of a %.6g mm² die",
+			f.Name, total/1e-6, die.Area()/1e-6)
+	}
+	return nil
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func newFloorplan(name string, w, h float64, blocks []Block) (*Floorplan, error) {
+	f := &Floorplan{Name: name, Width: w, Height: h, Blocks: blocks}
+	f.byName = make(map[string]int, len(blocks))
+	for i, b := range blocks {
+		if _, dup := f.byName[b.Name]; dup {
+			return nil, fmt.Errorf("floorplan %s: duplicate block name %q", name, b.Name)
+		}
+		f.byName[b.Name] = i
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

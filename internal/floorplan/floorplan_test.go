@@ -1,0 +1,241 @@
+package floorplan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+)
+
+func TestProcDieBuilds(t *testing.T) {
+	fp, err := BuildProcDie(DefaultProcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fp.Area() / 1e-6; math.Abs(got-64) > 1e-9 {
+		t.Fatalf("proc die area = %.3f mm², want 64", got)
+	}
+	// Eight cores, each with all twelve roles.
+	for c := 0; c < 8; c++ {
+		blocks := fp.CoreBlocks(c)
+		if len(blocks) != len(CoreRoles) {
+			t.Fatalf("core %d has %d blocks, want %d", c, len(blocks), len(CoreRoles))
+		}
+		seen := map[BlockRole]bool{}
+		for _, b := range blocks {
+			seen[b.Role] = true
+		}
+		for _, r := range CoreRoles {
+			if !seen[r] {
+				t.Fatalf("core %d missing role %s", c, r)
+			}
+		}
+	}
+	if _, ok := fp.Find("tsvbus"); !ok {
+		t.Fatal("no TSV bus block")
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := fp.Find("mc" + string(rune('0'+i))); !ok {
+			t.Fatalf("missing memory controller %d", i)
+		}
+	}
+}
+
+// The paper's λ-aware techniques rely on inner cores (2,3,6,7 in the
+// paper's 1-based numbering) being, on average, closer to the die centre
+// than outer cores.
+func TestInnerCoresAreInner(t *testing.T) {
+	fp, err := BuildProcDie(DefaultProcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	centreX := fp.Width / 2
+	for _, in := range InnerCores {
+		for _, out := range OuterCores {
+			di := math.Abs(fp.CoreRect(in).Center().X - centreX)
+			do := math.Abs(fp.CoreRect(out).Center().X - centreX)
+			if di >= do {
+				t.Fatalf("inner core %d (|dx|=%.3g) not nearer centre than outer core %d (|dx|=%.3g)",
+					in, di, out, do)
+			}
+		}
+	}
+}
+
+// Hotspot separation (§6.3): the FPUs of any two cores must be spatially
+// separated — at least a core-width apart within a row, and the two core
+// rows' execution clusters must sit far apart across the LLC stripe.
+func TestFPUsSpatiallySeparated(t *testing.T) {
+	fp, err := BuildProcDie(DefaultProcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpus := make([]Block, 8)
+	for c := 0; c < 8; c++ {
+		for _, b := range fp.CoreBlocks(c) {
+			if b.Role == RoleFPU {
+				fpus[c] = b
+			}
+		}
+	}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			d := fpus[i].Rect.Dist(fpus[j].Rect)
+			if d < 1.2*geom.Millimetre {
+				t.Fatalf("FPUs of cores %d and %d only %.2f mm apart", i, j, d/geom.Millimetre)
+			}
+		}
+	}
+	// Across rows: cores 0 and 4 are vertically aligned.
+	if d := math.Abs(fpus[0].Rect.Center().Y - fpus[4].Rect.Center().Y); d < 4*geom.Millimetre {
+		t.Fatalf("row-to-row FPU separation only %.2f mm", d/geom.Millimetre)
+	}
+}
+
+func TestProcTSVBusAtDieCentre(t *testing.T) {
+	fp, err := BuildProcDie(DefaultProcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, _ := fp.Find("tsvbus")
+	c := bus.Rect.Center()
+	if math.Abs(c.X-fp.Width/2) > 1e-12 || math.Abs(c.Y-fp.Height/2) > 1e-12 {
+		t.Fatalf("TSV bus centre at (%.4g, %.4g), want die centre", c.X, c.Y)
+	}
+}
+
+func TestDRAMSliceBuilds(t *testing.T) {
+	fp, sg, err := BuildDRAMSlice(DefaultDRAMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := 0
+	for _, b := range fp.Blocks {
+		if b.Kind == UnitDRAMBank {
+			banks++
+		}
+	}
+	if banks != 16 {
+		t.Fatalf("slice has %d banks, want 16 (4 ranks x 4 banks)", banks)
+	}
+	// Every channel owns exactly 4 banks.
+	for ch := 0; ch < 4; ch++ {
+		for bk := 0; bk < 4; bk++ {
+			name := "bank_ch" + string(rune('0'+ch)) + "b" + string(rune('0'+bk))
+			if _, ok := fp.Find(name); !ok {
+				t.Fatalf("missing %s", name)
+			}
+		}
+	}
+	if _, ok := fp.Find("tsvbus"); !ok {
+		t.Fatal("no TSV bus")
+	}
+	// Geometry: strip centres must be strictly increasing and inside the die.
+	prev := -1.0
+	for _, y := range sg.HStripCentres {
+		if y <= prev || y < 0 || y > fp.Height {
+			t.Fatalf("bad horizontal strip centres %v", sg.HStripCentres)
+		}
+		prev = y
+	}
+	prev = -1.0
+	for _, x := range sg.VStripCentres {
+		if x <= prev || x < 0 || x > fp.Width {
+			t.Fatalf("bad vertical strip centres %v", sg.VStripCentres)
+		}
+		prev = x
+	}
+	// The centre strip rect must contain the TSV bus.
+	bus, _ := fp.Find("tsvbus")
+	if bus.Rect.Intersect(sg.CentreStripRect()).Area() < bus.Rect.Area()*0.999 {
+		t.Fatal("TSV bus not inside the centre strip")
+	}
+}
+
+// Both dies must share the same TSV-bus location so the stack's buses
+// align vertically.
+func TestBusesAlignAcrossDies(t *testing.T) {
+	proc, err := BuildProcDie(DefaultProcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, _, err := BuildDRAMSlice(DefaultDRAMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := proc.Find("tsvbus")
+	db, _ := dram.Find("tsvbus")
+	if pb.Rect != db.Rect {
+		t.Fatalf("bus rects differ: %v vs %v", pb.Rect, db.Rect)
+	}
+}
+
+func TestValidateRejectsOverlap(t *testing.T) {
+	blocks := []Block{
+		{Name: "a", Rect: geom.NewRect(0, 0, 1, 1)},
+		{Name: "b", Rect: geom.NewRect(0.5, 0, 1, 1)},
+	}
+	_, err := newFloorplan("bad", 1.5, 1, blocks)
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("overlap not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsCoverageGap(t *testing.T) {
+	blocks := []Block{{Name: "a", Rect: geom.NewRect(0, 0, 1, 1)}}
+	_, err := newFloorplan("bad", 2, 1, blocks)
+	if err == nil || !strings.Contains(err.Error(), "cover") {
+		t.Fatalf("gap not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsOutOfDie(t *testing.T) {
+	blocks := []Block{{Name: "a", Rect: geom.NewRect(0, 0, 2, 1)}}
+	_, err := newFloorplan("bad", 1, 1, blocks)
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("out-of-die not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicateNames(t *testing.T) {
+	blocks := []Block{
+		{Name: "a", Rect: geom.NewRect(0, 0, 1, 1)},
+		{Name: "a", Rect: geom.NewRect(1, 0, 1, 1)},
+	}
+	_, err := newFloorplan("bad", 2, 1, blocks)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate not rejected: %v", err)
+	}
+}
+
+func TestCoreRectBoundsBlocks(t *testing.T) {
+	fp, err := BuildProcDie(DefaultProcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 8; c++ {
+		r := fp.CoreRect(c)
+		for _, b := range fp.CoreBlocks(c) {
+			if b.Rect.Intersect(r).Area() < b.Rect.Area()*0.999 {
+				t.Fatalf("core %d block %s outside CoreRect", c, b.Name)
+			}
+		}
+		// A quarter of the die width, one core-row tall.
+		if math.Abs(r.W()-fp.Width/4) > 1e-12 {
+			t.Fatalf("core %d width %.4g, want %.4g", c, r.W(), fp.Width/4)
+		}
+	}
+}
+
+func TestUnitKindStrings(t *testing.T) {
+	kinds := []UnitKind{UnitOther, UnitCoreBlock, UnitLLC, UnitMemCtrl, UnitTSVBus, UnitDRAMBank, UnitDRAMPeriph}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+}

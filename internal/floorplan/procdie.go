@@ -1,0 +1,221 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+)
+
+// ProcConfig parameterises the processor-die floorplan. The defaults
+// reproduce the layout of Fig. 6 in the paper: an 8 mm × 8 mm die with
+// four cores along the bottom edge, four along the top edge, and the LLC,
+// memory controllers and TSV bus in the central stripe. This "cores
+// outside, cache in the middle" arrangement matches the commercial layouts
+// the paper cites (POWER7, SPARC T-series, Itanium Poulson, Bulldozer).
+type ProcConfig struct {
+	// Width and Height of the die, metres.
+	Width, Height float64
+	// CoreRowHeight is the height of each of the two core rows, metres.
+	CoreRowHeight float64
+	// TSVBusW and TSVBusH size the central Wide I/O TSV-bus block; it is
+	// placed at the exact die centre so it aligns vertically with the TSV
+	// bus on every DRAM slice.
+	TSVBusW, TSVBusH float64
+	// MemCtrlW and MemCtrlH size each of the four Wide I/O controllers.
+	MemCtrlW, MemCtrlH float64
+}
+
+// DefaultProcConfig returns the configuration used throughout the paper's
+// evaluation: a ~64 mm² eight-core die.
+func DefaultProcConfig() ProcConfig {
+	return ProcConfig{
+		Width:         8.0 * geom.Millimetre,
+		Height:        8.0 * geom.Millimetre,
+		CoreRowHeight: 2.5 * geom.Millimetre,
+		TSVBusW:       2.4 * geom.Millimetre,
+		TSVBusH:       0.4 * geom.Millimetre,
+		MemCtrlW:      1.0 * geom.Millimetre,
+		MemCtrlH:      0.6 * geom.Millimetre,
+	}
+}
+
+// InnerCores and OuterCores identify the core positions used by the
+// λ-aware techniques (§5.2): cores 1,2,5,6 (0-indexed) sit in the two
+// middle columns and have the smaller average distance to the high-λ
+// sites; cores 0,3,4,7 sit at the die edges.
+//
+// Core numbering: cores 0-3 left→right along the bottom row, cores 4-7
+// left→right along the top row (the paper's cores 1-8).
+var (
+	InnerCores = []int{1, 2, 5, 6}
+	OuterCores = []int{0, 3, 4, 7}
+)
+
+// coreBlockSpec describes the per-core internal layout as fractional rows.
+// Each row spans the full core width and is divided into blocks by width
+// fractions. Row 0 is the row nearest the die edge. The hot execution row
+// (ALU/FPU) sits mid-core: the two core rows' hotspots stay >5 mm apart
+// (the paper's hotspot-separation requirement), while remaining near the
+// DRAM dies' inter-bank peripheral strips where banke places its
+// near-core TTSVs. The L2 sits nearest the LLC stripe.
+type coreBlockSpec struct {
+	hFrac  float64 // row height as a fraction of core height
+	blocks []struct {
+		role  BlockRole
+		wFrac float64
+	}
+}
+
+var coreRows = []coreBlockSpec{
+	{0.18, []struct {
+		role  BlockRole
+		wFrac float64
+	}{{RoleFetch, 0.35}, {RoleDecode, 0.30}, {RoleLSU, 0.35}}},
+	{0.18, []struct {
+		role  BlockRole
+		wFrac float64
+	}{{RoleL1I, 0.50}, {RoleL1D, 0.50}}},
+	{0.28, []struct {
+		role  BlockRole
+		wFrac float64
+	}{{RoleFPU, 0.40}, {RoleIntALU, 0.35}, {RoleFPRF, 0.25}}},
+	{0.18, []struct {
+		role  BlockRole
+		wFrac float64
+	}{{RoleROB, 0.35}, {RoleIssueQ, 0.30}, {RoleIntRF, 0.35}}},
+	{0.18, []struct {
+		role  BlockRole
+		wFrac float64
+	}{{RoleL2, 1.00}}},
+}
+
+// BuildProcDie constructs the processor-die floorplan.
+func BuildProcDie(cfg ProcConfig) (*Floorplan, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("floorplan: non-positive proc die dimensions")
+	}
+	if 2*cfg.CoreRowHeight >= cfg.Height {
+		return nil, fmt.Errorf("floorplan: core rows (2×%.3g mm) exceed die height %.3g mm",
+			cfg.CoreRowHeight/geom.Millimetre, cfg.Height/geom.Millimetre)
+	}
+	var blocks []Block
+
+	coreW := cfg.Width / 4
+	// Bottom row: cores 0-3. Right-half cores mirror in x so the hot
+	// execution clusters of the outer cores face the die edges while the
+	// inner cores' clusters sit near the die's vertical mid-strips.
+	for c := 0; c < 4; c++ {
+		x := float64(c) * coreW
+		blocks = append(blocks, coreBlocks(c, geom.NewRect(x, 0, coreW, cfg.CoreRowHeight), false, c >= 2)...)
+	}
+	// Top row: cores 4-7, mirrored in y so the hot row faces the top die
+	// edge, with the same x mirroring for the right half.
+	topY := cfg.Height - cfg.CoreRowHeight
+	for c := 4; c < 8; c++ {
+		x := float64(c-4) * coreW
+		blocks = append(blocks, coreBlocks(c, geom.NewRect(x, topY, coreW, cfg.CoreRowHeight), true, c-4 >= 2)...)
+	}
+
+	// Central stripe: LLC everywhere except the TSV bus and the four
+	// memory controllers. The stripe is decomposed into disjoint
+	// rectangles around those carve-outs.
+	stripe := geom.NewRect(0, cfg.CoreRowHeight, cfg.Width, cfg.Height-2*cfg.CoreRowHeight)
+	bus := centreRect(stripe, cfg.TSVBusW, cfg.TSVBusH)
+	blocks = append(blocks, Block{Name: "tsvbus", Kind: UnitTSVBus, Core: -1, Rect: bus})
+
+	// Memory controllers: one per Wide I/O channel, flanking the bus.
+	mcY0 := bus.Min.Y - cfg.MemCtrlH
+	mcY1 := bus.Max.Y
+	mcXL := bus.Min.X - cfg.MemCtrlW
+	mcXR := bus.Max.X
+	mcs := []geom.Rect{
+		geom.NewRect(mcXL, mcY0, cfg.MemCtrlW, cfg.MemCtrlH),
+		geom.NewRect(mcXR, mcY0, cfg.MemCtrlW, cfg.MemCtrlH),
+		geom.NewRect(mcXL, mcY1, cfg.MemCtrlW, cfg.MemCtrlH),
+		geom.NewRect(mcXR, mcY1, cfg.MemCtrlW, cfg.MemCtrlH),
+	}
+	for i, r := range mcs {
+		blocks = append(blocks, Block{Name: fmt.Sprintf("mc%d", i), Kind: UnitMemCtrl, Core: -1, Rect: r})
+	}
+
+	// LLC fills the rest of the stripe. Decompose: full-width bands below
+	// and above the carve-out band, plus left/right flanks beside it.
+	carve := geom.Rect{
+		Min: geom.Point{X: mcXL, Y: mcY0},
+		Max: geom.Point{X: mcXR + cfg.MemCtrlW, Y: mcY1 + cfg.MemCtrlH},
+	}
+	llcParts := []geom.Rect{
+		{Min: geom.Point{X: stripe.Min.X, Y: stripe.Min.Y}, Max: geom.Point{X: stripe.Max.X, Y: carve.Min.Y}},
+		{Min: geom.Point{X: stripe.Min.X, Y: carve.Max.Y}, Max: geom.Point{X: stripe.Max.X, Y: stripe.Max.Y}},
+		{Min: geom.Point{X: stripe.Min.X, Y: carve.Min.Y}, Max: geom.Point{X: carve.Min.X, Y: carve.Max.Y}},
+		{Min: geom.Point{X: carve.Max.X, Y: carve.Min.Y}, Max: geom.Point{X: stripe.Max.X, Y: carve.Max.Y}},
+		// Inside the carve band but outside bus/MCs: the gap between the
+		// two lower MCs (below the bus), between the two upper MCs
+		// (above the bus), and the gaps flanking the bus between the MC
+		// columns.
+		{Min: geom.Point{X: bus.Min.X, Y: carve.Min.Y}, Max: geom.Point{X: bus.Max.X, Y: bus.Min.Y}},
+		{Min: geom.Point{X: bus.Min.X, Y: bus.Max.Y}, Max: geom.Point{X: bus.Max.X, Y: carve.Max.Y}},
+		{Min: geom.Point{X: carve.Min.X, Y: bus.Min.Y}, Max: geom.Point{X: bus.Min.X, Y: bus.Max.Y}},
+		{Min: geom.Point{X: bus.Max.X, Y: bus.Min.Y}, Max: geom.Point{X: carve.Max.X, Y: bus.Max.Y}},
+	}
+	n := 0
+	for _, r := range llcParts {
+		if r.Empty() || r.Area() < 1e-12 {
+			continue
+		}
+		blocks = append(blocks, Block{Name: fmt.Sprintf("llc%d", n), Kind: UnitLLC, Core: -1, Rect: r})
+		n++
+	}
+
+	return newFloorplan("proc-die", cfg.Width, cfg.Height, blocks)
+}
+
+// coreBlocks lays out one core's internal blocks inside rect. When
+// mirrorY is true the row order flips vertically (the top core row, so
+// the hot execution row faces the top die edge); when mirrorX is true
+// each row's blocks flip horizontally (right-half cores, so the hot
+// cluster faces the nearer vertical die edge).
+func coreBlocks(core int, rect geom.Rect, mirrorY, mirrorX bool) []Block {
+	var out []Block
+	y := rect.Min.Y
+	rows := coreRows
+	if mirrorY {
+		rows = make([]coreBlockSpec, len(coreRows))
+		for i := range coreRows {
+			rows[i] = coreRows[len(coreRows)-1-i]
+		}
+	}
+	for _, row := range rows {
+		h := row.hFrac * rect.H()
+		blocks := row.blocks
+		if mirrorX {
+			blocks = make([]struct {
+				role  BlockRole
+				wFrac float64
+			}, len(row.blocks))
+			for i := range row.blocks {
+				blocks[i] = row.blocks[len(row.blocks)-1-i]
+			}
+		}
+		x := rect.Min.X
+		for _, b := range blocks {
+			w := b.wFrac * rect.W()
+			out = append(out, Block{
+				Name: fmt.Sprintf("c%d.%s", core, b.role),
+				Kind: UnitCoreBlock,
+				Role: b.role,
+				Core: core,
+				Rect: geom.NewRect(x, y, w, h),
+			})
+			x += w
+		}
+		y += h
+	}
+	return out
+}
+
+// centreRect returns a w×h rectangle centred inside r.
+func centreRect(r geom.Rect, w, h float64) geom.Rect {
+	c := r.Center()
+	return geom.NewRect(c.X-w/2, c.Y-h/2, w, h)
+}

@@ -1,0 +1,175 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+)
+
+// Slicing-tree floorplanning, in the style of ArchFP [17]: a floorplan is
+// a recursive partition of a rectangle, where each internal node cuts its
+// rectangle horizontally or vertically and distributes the pieces to its
+// children in proportion to their area demands. The fixed layouts in
+// procdie.go and dramdie.go cover the paper's evaluation; this engine
+// lets users describe their own dies declaratively and is exercised by
+// the custom-floorplan tests.
+
+// CutDir selects how an internal tree node divides its rectangle.
+type CutDir int
+
+const (
+	// CutNone marks a leaf.
+	CutNone CutDir = iota
+	// CutVertical slices the rectangle with vertical lines: children are
+	// laid out left-to-right.
+	CutVertical
+	// CutHorizontal slices with horizontal lines: children stack
+	// bottom-to-top.
+	CutHorizontal
+)
+
+// TreeNode is one node of a slicing tree. Leaves describe blocks;
+// internal nodes describe cuts. A leaf's AreaFrac is its share of the
+// *root* rectangle's area; the tree is valid when the leaf fractions sum
+// to 1.
+type TreeNode struct {
+	// Leaf fields (ignored on internal nodes).
+	Name     string
+	Kind     UnitKind
+	Role     BlockRole
+	Core     int
+	AreaFrac float64
+
+	// Internal fields.
+	Cut      CutDir
+	Children []*TreeNode
+}
+
+// Leaf builds a leaf node.
+func Leaf(name string, kind UnitKind, frac float64) *TreeNode {
+	return &TreeNode{Name: name, Kind: kind, Core: -1, AreaFrac: frac}
+}
+
+// CoreLeaf builds a leaf for a core-internal block.
+func CoreLeaf(core int, role BlockRole, frac float64) *TreeNode {
+	return &TreeNode{
+		Name: fmt.Sprintf("c%d.%s", core, role),
+		Kind: UnitCoreBlock, Role: role, Core: core, AreaFrac: frac,
+	}
+}
+
+// VSplit combines children side by side (left to right).
+func VSplit(children ...*TreeNode) *TreeNode {
+	return &TreeNode{Cut: CutVertical, Children: children, Core: -1}
+}
+
+// HSplit stacks children bottom to top.
+func HSplit(children ...*TreeNode) *TreeNode {
+	return &TreeNode{Cut: CutHorizontal, Children: children, Core: -1}
+}
+
+// totalFrac sums the subtree's leaf area fractions.
+func (n *TreeNode) totalFrac() float64 {
+	if n.Cut == CutNone {
+		return n.AreaFrac
+	}
+	s := 0.0
+	for _, c := range n.Children {
+		s += c.totalFrac()
+	}
+	return s
+}
+
+// validate checks the subtree's structure.
+func (n *TreeNode) validate() error {
+	if n.Cut == CutNone {
+		if n.Name == "" {
+			return fmt.Errorf("floorplan: unnamed leaf")
+		}
+		if n.AreaFrac <= 0 {
+			return fmt.Errorf("floorplan: leaf %q has area fraction %g", n.Name, n.AreaFrac)
+		}
+		if len(n.Children) != 0 {
+			return fmt.Errorf("floorplan: leaf %q has children", n.Name)
+		}
+		return nil
+	}
+	if len(n.Children) < 2 {
+		return fmt.Errorf("floorplan: cut node with %d children", len(n.Children))
+	}
+	for _, c := range n.Children {
+		if err := c.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LayoutTree lays a slicing tree out over a die of the given size and
+// returns a validated floorplan. Leaf area fractions must sum to 1
+// (within 1e-6).
+func LayoutTree(name string, root *TreeNode, width, height float64) (*Floorplan, error) {
+	if root == nil {
+		return nil, fmt.Errorf("floorplan: nil tree")
+	}
+	if err := root.validate(); err != nil {
+		return nil, err
+	}
+	if total := root.totalFrac(); math.Abs(total-1) > 1e-6 {
+		return nil, fmt.Errorf("floorplan: leaf fractions sum to %g, want 1", total)
+	}
+	var blocks []Block
+	var layout func(n *TreeNode, r geom.Rect)
+	layout = func(n *TreeNode, r geom.Rect) {
+		if n.Cut == CutNone {
+			blocks = append(blocks, Block{
+				Name: n.Name, Kind: n.Kind, Role: n.Role, Core: n.Core, Rect: r,
+			})
+			return
+		}
+		total := n.totalFrac()
+		offset := 0.0
+		for _, c := range n.Children {
+			share := c.totalFrac() / total
+			var sub geom.Rect
+			if n.Cut == CutVertical {
+				w := r.W() * share
+				sub = geom.NewRect(r.Min.X+offset, r.Min.Y, w, r.H())
+				offset += w
+			} else {
+				h := r.H() * share
+				sub = geom.NewRect(r.Min.X, r.Min.Y+offset, r.W(), h)
+				offset += h
+			}
+			layout(c, sub)
+		}
+	}
+	layout(root, geom.NewRect(0, 0, width, height))
+	return newFloorplan(name, width, height, blocks)
+}
+
+// AspectRatio returns a block rectangle's long-over-short side ratio,
+// used to score layouts (squarish blocks conduct and route better; §6.1
+// notes the thermal grid also prefers squarish blocks).
+func AspectRatio(r geom.Rect) float64 {
+	w, h := r.W(), r.H()
+	if w < h {
+		w, h = h, w
+	}
+	if h == 0 {
+		return math.Inf(1)
+	}
+	return w / h
+}
+
+// WorstAspect returns the worst block aspect ratio of a floorplan.
+func WorstAspect(fp *Floorplan) float64 {
+	worst := 1.0
+	for _, b := range fp.Blocks {
+		if ar := AspectRatio(b.Rect); ar > worst {
+			worst = ar
+		}
+	}
+	return worst
+}

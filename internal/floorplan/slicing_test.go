@@ -1,0 +1,165 @@
+package floorplan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+)
+
+func TestLayoutTreeSimple(t *testing.T) {
+	// Two blocks side by side, 1:3 area split.
+	tree := VSplit(
+		Leaf("small", UnitOther, 0.25),
+		Leaf("big", UnitOther, 0.75),
+	)
+	fp, err := LayoutTree("demo", tree, 8e-3, 4e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _ := fp.Find("small")
+	big, _ := fp.Find("big")
+	if math.Abs(small.Rect.W()-2e-3) > 1e-12 || math.Abs(big.Rect.W()-6e-3) > 1e-12 {
+		t.Fatalf("widths %g / %g", small.Rect.W(), big.Rect.W())
+	}
+	if small.Rect.H() != 4e-3 || big.Rect.H() != 4e-3 {
+		t.Fatal("vertical cut should preserve full height")
+	}
+}
+
+func TestLayoutTreeNested(t *testing.T) {
+	// A core-like layout: cache stripe under an execution cluster.
+	tree := HSplit(
+		Leaf("l2", UnitCoreBlock, 0.4),
+		VSplit(
+			CoreLeaf(0, RoleIntALU, 0.2),
+			CoreLeaf(0, RoleFPU, 0.3),
+			CoreLeaf(0, RoleFPRF, 0.1),
+		),
+	)
+	fp, err := LayoutTree("core", tree, 2e-3, 2.5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Blocks) != 4 {
+		t.Fatalf("%d blocks", len(fp.Blocks))
+	}
+	fpu, ok := fp.Find("c0.fpu")
+	if !ok {
+		t.Fatal("no FPU block")
+	}
+	// FPU has 0.3 of the die area.
+	want := 0.3 * 2e-3 * 2.5e-3
+	if math.Abs(fpu.Rect.Area()-want) > 1e-15 {
+		t.Fatalf("FPU area %g, want %g", fpu.Rect.Area(), want)
+	}
+	// Upper row: FPU sits above the L2 stripe.
+	l2, _ := fp.Find("l2")
+	if fpu.Rect.Min.Y < l2.Rect.Max.Y-1e-12 {
+		t.Fatal("execution cluster not above the cache stripe")
+	}
+}
+
+func TestLayoutTreeValidation(t *testing.T) {
+	if _, err := LayoutTree("x", nil, 1, 1); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := LayoutTree("x", Leaf("", UnitOther, 1), 1, 1); err == nil {
+		t.Fatal("unnamed leaf accepted")
+	}
+	if _, err := LayoutTree("x", Leaf("a", UnitOther, 0.5), 1, 1); err == nil {
+		t.Fatal("fractions != 1 accepted")
+	}
+	if _, err := LayoutTree("x", VSplit(Leaf("a", UnitOther, 1)), 1, 1); err == nil {
+		t.Fatal("single-child cut accepted")
+	}
+	bad := Leaf("a", UnitOther, 1)
+	bad.Children = []*TreeNode{Leaf("b", UnitOther, 0)}
+	if _, err := LayoutTree("x", bad, 1, 1); err == nil {
+		t.Fatal("leaf with children accepted")
+	}
+}
+
+// Property: any random valid slicing tree tiles the die exactly (the
+// floorplan validator enforces coverage and disjointness) and every
+// block's area equals its fraction of the die.
+func TestLayoutTreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		leaves := 0
+		var build func(depth int, frac float64) *TreeNode
+		build = func(depth int, frac float64) *TreeNode {
+			if depth == 0 || rng.Float64() < 0.35 {
+				leaves++
+				return Leaf(blockName(leaves), UnitOther, frac)
+			}
+			n := 2 + rng.Intn(3)
+			shares := make([]float64, n)
+			sum := 0.0
+			for i := range shares {
+				shares[i] = 0.2 + rng.Float64()
+				sum += shares[i]
+			}
+			var children []*TreeNode
+			for i := range shares {
+				children = append(children, build(depth-1, frac*shares[i]/sum))
+			}
+			if rng.Intn(2) == 0 {
+				return VSplit(children...)
+			}
+			return HSplit(children...)
+		}
+		tree := build(3, 1.0)
+		if tree.Cut == CutNone {
+			continue // degenerate single-leaf tree: still fine but dull
+		}
+		fp, err := LayoutTree("prop", tree, 8e-3, 8e-3)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Per-leaf area check.
+		fracs := map[string]float64{}
+		var collect func(n *TreeNode)
+		collect = func(n *TreeNode) {
+			if n.Cut == CutNone {
+				fracs[n.Name] = n.AreaFrac
+				return
+			}
+			for _, c := range n.Children {
+				collect(c)
+			}
+		}
+		collect(tree)
+		die := fp.Area()
+		for name, frac := range fracs {
+			b, ok := fp.Find(name)
+			if !ok {
+				t.Fatalf("trial %d: block %s missing", trial, name)
+			}
+			if math.Abs(b.Rect.Area()-frac*die) > 1e-9*die {
+				t.Fatalf("trial %d: %s area %.3g, want %.3g", trial, name, b.Rect.Area(), frac*die)
+			}
+		}
+	}
+}
+
+func blockName(i int) string {
+	return "blk" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+func TestAspectHelpers(t *testing.T) {
+	if ar := AspectRatio(geom.NewRect(0, 0, 4, 1)); ar != 4 {
+		t.Fatalf("AspectRatio = %g", ar)
+	}
+	if ar := AspectRatio(geom.NewRect(0, 0, 1, 4)); ar != 4 {
+		t.Fatal("aspect must be orientation-free")
+	}
+	fp, err := BuildProcDie(DefaultProcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wa := WorstAspect(fp); wa > 25 {
+		t.Fatalf("proc die worst aspect %g implausible", wa)
+	}
+}

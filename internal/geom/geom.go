@@ -1,0 +1,205 @@
+// Package geom provides the planar geometry primitives used throughout the
+// simulator: axis-aligned rectangles in physical (metre) coordinates, and
+// the mapping between rectangles and discrete simulation grids.
+//
+// All physical coordinates are in metres. A die floorplan places blocks in
+// a coordinate system whose origin is the lower-left corner of the die.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Micron is one micrometre expressed in metres. Layer thicknesses and
+// TSV/µbump dimensions in the paper are quoted in µm, so most dimensioned
+// constants are written as a multiple of Micron.
+const Micron = 1e-6
+
+// Millimetre is one millimetre expressed in metres.
+const Millimetre = 1e-3
+
+// Point is a position on the die plane, in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Rect is an axis-aligned rectangle on the die plane. Min is the lower-left
+// corner and Max the upper-right corner, in metres. A Rect is well formed
+// when Min.X <= Max.X and Min.Y <= Max.Y.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect builds a rectangle from a lower-left corner and a size.
+func NewRect(x, y, w, h float64) Rect {
+	return Rect{Min: Point{x, y}, Max: Point{x + w, y + h}}
+}
+
+// W returns the rectangle width in metres.
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the rectangle height in metres.
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the rectangle area in square metres.
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Center returns the rectangle's centre point.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Empty reports whether the rectangle has zero (or negative) area.
+func (r Rect) Empty() bool { return r.Min.X >= r.Max.X || r.Min.Y >= r.Max.Y }
+
+// Contains reports whether p lies inside r (inclusive of the lower-left
+// edges, exclusive of the upper-right edges, so adjacent rectangles
+// partition the plane without double-counting).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// Intersect returns the intersection of two rectangles. The result is
+// Empty if they do not overlap.
+func (r Rect) Intersect(o Rect) Rect {
+	out := Rect{
+		Min: Point{math.Max(r.Min.X, o.Min.X), math.Max(r.Min.Y, o.Min.Y)},
+		Max: Point{math.Min(r.Max.X, o.Max.X), math.Min(r.Max.Y, o.Max.Y)},
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Overlaps reports whether the two rectangles share any interior area.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.Min.X < o.Max.X && o.Min.X < r.Max.X &&
+		r.Min.Y < o.Max.Y && o.Min.Y < r.Max.Y
+}
+
+// Inset shrinks the rectangle by d on every side. Insetting past the
+// centre produces an Empty rectangle.
+func (r Rect) Inset(d float64) Rect {
+	out := Rect{
+		Min: Point{r.Min.X + d, r.Min.Y + d},
+		Max: Point{r.Max.X - d, r.Max.Y - d},
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Expand grows the rectangle by d on every side.
+func (r Rect) Expand(d float64) Rect { return r.Inset(-d) }
+
+// Dist returns the Euclidean distance between the centres of r and o.
+func (r Rect) Dist(o Rect) float64 {
+	a, b := r.Center(), o.Center()
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Hypot(dx, dy)
+}
+
+// String formats the rectangle in millimetres for diagnostics.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.3g,%.3g %.3gx%.3g mm]",
+		r.Min.X/Millimetre, r.Min.Y/Millimetre, r.W()/Millimetre, r.H()/Millimetre)
+}
+
+// Grid describes a uniform rectangular discretisation of a die footprint.
+// Cell (0,0) is at the lower-left corner. Rows index Y, columns index X.
+type Grid struct {
+	Rows, Cols int
+	// Width and Height are the physical footprint in metres.
+	Width, Height float64
+}
+
+// NewGrid constructs a grid over a footprint of the given physical size.
+// It panics if rows or cols is non-positive, because a zero-size grid is
+// always a programming error in this codebase.
+func NewGrid(rows, cols int, width, height float64) Grid {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("geom: invalid grid %dx%d", rows, cols))
+	}
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("geom: invalid grid footprint %g x %g", width, height))
+	}
+	return Grid{Rows: rows, Cols: cols, Width: width, Height: height}
+}
+
+// CellW returns the width of one cell in metres.
+func (g Grid) CellW() float64 { return g.Width / float64(g.Cols) }
+
+// CellH returns the height of one cell in metres.
+func (g Grid) CellH() float64 { return g.Height / float64(g.Rows) }
+
+// CellArea returns the plan area of one cell in square metres.
+func (g Grid) CellArea() float64 { return g.CellW() * g.CellH() }
+
+// NumCells returns the total number of cells.
+func (g Grid) NumCells() int { return g.Rows * g.Cols }
+
+// Index converts (row, col) to a linear index.
+func (g Grid) Index(row, col int) int { return row*g.Cols + col }
+
+// RowCol converts a linear index back to (row, col).
+func (g Grid) RowCol(idx int) (row, col int) { return idx / g.Cols, idx % g.Cols }
+
+// CellRect returns the physical rectangle covered by cell (row, col).
+func (g Grid) CellRect(row, col int) Rect {
+	cw, ch := g.CellW(), g.CellH()
+	return NewRect(float64(col)*cw, float64(row)*ch, cw, ch)
+}
+
+// CellAt returns the (row, col) of the cell containing p, clamped to the
+// grid bounds so querying the exact upper-right corner stays in range.
+func (g Grid) CellAt(p Point) (row, col int) {
+	col = int(p.X / g.CellW())
+	row = int(p.Y / g.CellH())
+	if col < 0 {
+		col = 0
+	}
+	if col >= g.Cols {
+		col = g.Cols - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= g.Rows {
+		row = g.Rows - 1
+	}
+	return row, col
+}
+
+// OverlapFractions rasterises rectangle r onto the grid, returning for
+// each overlapped cell the fraction of the *cell's* area covered by r.
+// The visit callback receives (row, col, fraction) with fraction in (0, 1].
+func (g Grid) OverlapFractions(r Rect, visit func(row, col int, frac float64)) {
+	clip := r.Intersect(NewRect(0, 0, g.Width, g.Height))
+	if clip.Empty() {
+		return
+	}
+	cw, ch := g.CellW(), g.CellH()
+	c0 := int(clip.Min.X / cw)
+	c1 := int(math.Ceil(clip.Max.X/cw)) - 1
+	r0 := int(clip.Min.Y / ch)
+	r1 := int(math.Ceil(clip.Max.Y/ch)) - 1
+	if c1 >= g.Cols {
+		c1 = g.Cols - 1
+	}
+	if r1 >= g.Rows {
+		r1 = g.Rows - 1
+	}
+	cellArea := g.CellArea()
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			ov := clip.Intersect(g.CellRect(row, col))
+			if ov.Empty() {
+				continue
+			}
+			visit(row, col, ov.Area()/cellArea)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(1, 2, 3, 4)
+	if r.W() != 3 || r.H() != 4 {
+		t.Fatalf("W,H = %g,%g, want 3,4", r.W(), r.H())
+	}
+	if r.Area() != 12 {
+		t.Fatalf("Area = %g, want 12", r.Area())
+	}
+	if c := r.Center(); c.X != 2.5 || c.Y != 4 {
+		t.Fatalf("Center = %+v, want (2.5,4)", c)
+	}
+	if r.Empty() {
+		t.Fatal("non-empty rect reported empty")
+	}
+	if !(Rect{}).Empty() {
+		t.Fatal("zero rect not empty")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 1, 1)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},  // inclusive lower-left
+		{Point{1, 1}, false}, // exclusive upper-right
+		{Point{0.5, 0.5}, true},
+		{Point{-0.1, 0.5}, false},
+		{Point{0.5, 1.0}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%+v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(1, 1, 2, 2)
+	got := a.Intersect(b)
+	want := NewRect(1, 1, 1, 1)
+	if got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("Overlaps should be true")
+	}
+	c := NewRect(5, 5, 1, 1)
+	if !a.Intersect(c).Empty() {
+		t.Fatal("disjoint intersect should be empty")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint rects should not overlap")
+	}
+	// Touching edges do not overlap.
+	d := NewRect(2, 0, 1, 2)
+	if a.Overlaps(d) {
+		t.Fatal("edge-touching rects should not overlap")
+	}
+}
+
+func TestRectInsetExpand(t *testing.T) {
+	r := NewRect(0, 0, 4, 4)
+	in := r.Inset(1)
+	if in != NewRect(1, 1, 2, 2) {
+		t.Fatalf("Inset = %v", in)
+	}
+	if !r.Inset(3).Empty() {
+		t.Fatal("over-inset should be empty")
+	}
+	ex := r.Expand(1)
+	if ex != NewRect(-1, -1, 6, 6) {
+		t.Fatalf("Expand = %v", ex)
+	}
+}
+
+func TestRectDist(t *testing.T) {
+	a := NewRect(0, 0, 2, 2) // centre (1,1)
+	b := NewRect(3, 4, 2, 2) // centre (4,5)
+	if d := a.Dist(b); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Dist = %g, want 5", d)
+	}
+}
+
+func TestGridIndexing(t *testing.T) {
+	g := NewGrid(4, 8, 8e-3, 4e-3)
+	if g.NumCells() != 32 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+	for row := 0; row < g.Rows; row++ {
+		for col := 0; col < g.Cols; col++ {
+			i := g.Index(row, col)
+			r2, c2 := g.RowCol(i)
+			if r2 != row || c2 != col {
+				t.Fatalf("roundtrip (%d,%d) -> %d -> (%d,%d)", row, col, i, r2, c2)
+			}
+		}
+	}
+	if g.CellW() != 1e-3 || g.CellH() != 1e-3 {
+		t.Fatalf("cell size %g x %g", g.CellW(), g.CellH())
+	}
+}
+
+func TestGridCellAtClamps(t *testing.T) {
+	g := NewGrid(4, 4, 4e-3, 4e-3)
+	row, col := g.CellAt(Point{-1, -1})
+	if row != 0 || col != 0 {
+		t.Fatalf("CellAt(-1,-1) = (%d,%d)", row, col)
+	}
+	row, col = g.CellAt(Point{4e-3, 4e-3})
+	if row != 3 || col != 3 {
+		t.Fatalf("CellAt(max) = (%d,%d)", row, col)
+	}
+	row, col = g.CellAt(Point{1.5e-3, 2.5e-3})
+	if row != 2 || col != 1 {
+		t.Fatalf("CellAt interior = (%d,%d), want (2,1)", row, col)
+	}
+}
+
+func TestGridCellRectTilesDie(t *testing.T) {
+	g := NewGrid(3, 5, 5e-3, 3e-3)
+	total := 0.0
+	for row := 0; row < g.Rows; row++ {
+		for col := 0; col < g.Cols; col++ {
+			total += g.CellRect(row, col).Area()
+		}
+	}
+	if math.Abs(total-g.Width*g.Height) > 1e-18 {
+		t.Fatalf("cells cover %g, die is %g", total, g.Width*g.Height)
+	}
+}
+
+func TestOverlapFractionsExact(t *testing.T) {
+	g := NewGrid(2, 2, 2, 2) // four 1x1 cells
+	// Rect covering the centre quarter of the die: 0.5..1.5 in each axis.
+	r := NewRect(0.5, 0.5, 1, 1)
+	got := map[[2]int]float64{}
+	g.OverlapFractions(r, func(row, col int, frac float64) {
+		got[[2]int{row, col}] = frac
+	})
+	if len(got) != 4 {
+		t.Fatalf("got %d cells, want 4", len(got))
+	}
+	for k, f := range got {
+		if math.Abs(f-0.25) > 1e-12 {
+			t.Fatalf("cell %v fraction %g, want 0.25", k, f)
+		}
+	}
+}
+
+func TestOverlapFractionsClipsToGrid(t *testing.T) {
+	g := NewGrid(2, 2, 2, 2)
+	r := NewRect(-1, -1, 1.5, 1.5) // only 0.5x0.5 in cell (0,0)
+	sum := 0.0
+	g.OverlapFractions(r, func(row, col int, frac float64) {
+		if row != 0 || col != 0 {
+			t.Fatalf("unexpected cell (%d,%d)", row, col)
+		}
+		sum += frac
+	})
+	if math.Abs(sum-0.25) > 1e-12 {
+		t.Fatalf("fraction %g, want 0.25", sum)
+	}
+}
+
+// Property: for any rectangle inside the grid, the sum over cells of
+// (fraction × cell area) equals the rectangle's area.
+func TestOverlapFractionsConservesArea(t *testing.T) {
+	g := NewGrid(7, 5, 5e-3, 7e-3)
+	f := func(x0, y0, w, h float64) bool {
+		// Map raw floats into the die footprint.
+		x0 = math.Mod(math.Abs(x0), g.Width*0.9)
+		y0 = math.Mod(math.Abs(y0), g.Height*0.9)
+		w = math.Mod(math.Abs(w), g.Width-x0)
+		h = math.Mod(math.Abs(h), g.Height-y0)
+		if w <= 0 || h <= 0 {
+			return true
+		}
+		r := NewRect(x0, y0, w, h)
+		sum := 0.0
+		g.OverlapFractions(r, func(_, _ int, frac float64) {
+			sum += frac * g.CellArea()
+		})
+		return math.Abs(sum-r.Area()) < 1e-9*g.Width*g.Height
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGridPanicsOnBadArgs(t *testing.T) {
+	for _, c := range []struct{ r, cl int }{{0, 4}, {4, 0}, {-1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGrid(%d,%d) did not panic", c.r, c.cl)
+				}
+			}()
+			NewGrid(c.r, c.cl, 1, 1)
+		}()
+	}
+}

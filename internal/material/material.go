@@ -1,0 +1,107 @@
+// Package material defines the thermal material properties used to build
+// processor-memory stacks, and the composite-conductivity arithmetic the
+// paper uses for heterogeneous regions (TSV buses, µbump fields).
+//
+// All conductivities are in W/(m·K), thicknesses in metres, volumetric heat
+// capacities in J/(m³·K). The headline values come from Table 1 of the
+// paper and the measurements it cites (Colgan/IBM, Matsumoto, Oprins/IMEC).
+package material
+
+import "fmt"
+
+// Props describes one homogeneous material.
+type Props struct {
+	Name string
+	// Conductivity is the thermal conductivity λ in W/(m·K).
+	Conductivity float64
+	// VolHeatCapacity is ρ·c in J/(m³·K), used by the transient solver.
+	VolHeatCapacity float64
+}
+
+// The materials of the stack. Conductivities follow Table 1 of the paper;
+// volumetric heat capacities are standard handbook values (HotSpot uses
+// the same silicon and copper numbers).
+var (
+	// Silicon is bulk silicon: λ=120 W/mK in the paper's stack tables.
+	Silicon = Props{Name: "Si", Conductivity: 120, VolHeatCapacity: 1.75e6}
+	// Copper is the TSV/TTSV fill and heat-sink metal: λ=400 W/mK.
+	Copper = Props{Name: "Cu", Conductivity: 400, VolHeatCapacity: 3.55e6}
+	// ProcMetal is the processor frontside metal stack (Cu + dielectric):
+	// λ=12 W/mK over 12 µm (Rth ≈ 1 mm²K/W).
+	ProcMetal = Props{Name: "proc-metal", Conductivity: 12, VolHeatCapacity: 2.0e6}
+	// DRAMMetal is the DRAM die metal stack (Al + dielectric): λ=9 W/mK.
+	DRAMMetal = Props{Name: "dram-metal", Conductivity: 9, VolHeatCapacity: 2.0e6}
+	// D2DUnderfill is the average die-to-die layer with a 25%-density dummy
+	// µbump fill: λ=1.5 W/mK as measured by IBM [9,11] and Matsumoto [39].
+	D2DUnderfill = Props{Name: "d2d", Conductivity: 1.5, VolHeatCapacity: 2.2e6}
+	// MicroBump is a Cu-pillar/solder µbump: λ=40 W/mK [39].
+	MicroBump = Props{Name: "ubump", Conductivity: 40, VolHeatCapacity: 3.0e6}
+	// TIM is the thermal interface material between top die and IHS: λ=5.
+	TIM = Props{Name: "tim", Conductivity: 5, VolHeatCapacity: 4.0e6}
+)
+
+// SheetRth returns the thermal resistance per unit area, t/λ, of a slab of
+// thickness t (metres) made of this material, in m²·K/W. The paper quotes
+// these in mm²·K/W; multiply by 1e6 to convert.
+func (p Props) SheetRth(thickness float64) float64 {
+	return thickness / p.Conductivity
+}
+
+// MM2KPerW converts an Rth in m²K/W to the paper's mm²K/W unit.
+func MM2KPerW(rth float64) float64 { return rth * 1e6 }
+
+// Composite computes the effective conductivity of an area covered by
+// several materials in parallel (heat flowing normal to the plane through
+// side-by-side columns). Following the paper (§6.1, citing [41]):
+//
+//	λ_eff = Σ ρ_i · λ_i, with Σ ρ_i = 1
+//
+// It panics if the occupancies do not sum to 1 within a small tolerance,
+// because a mis-specified composite silently corrupts the whole thermal
+// model.
+func Composite(fractions []float64, mats []Props) float64 {
+	if len(fractions) != len(mats) {
+		panic(fmt.Sprintf("material: %d fractions for %d materials", len(fractions), len(mats)))
+	}
+	sum, lambda := 0.0, 0.0
+	for i, f := range fractions {
+		if f < 0 {
+			panic(fmt.Sprintf("material: negative fraction %g for %s", f, mats[i].Name))
+		}
+		sum += f
+		lambda += f * mats[i].Conductivity
+	}
+	if sum < 0.999 || sum > 1.001 {
+		panic(fmt.Sprintf("material: fractions sum to %g, want 1", sum))
+	}
+	return lambda
+}
+
+// SeriesRth returns the thermal resistance per unit area of slabs stacked
+// in series: Σ t_i/λ_i, in m²K/W. This is the arithmetic behind the
+// paper's 0.46 mm²K/W shorted-pillar figure (18 µm µbump at 40 W/mK plus a
+// 2 µm backside-metal short at 400 W/mK).
+func SeriesRth(thicknesses, lambdas []float64) float64 {
+	if len(thicknesses) != len(lambdas) {
+		panic("material: mismatched series slabs")
+	}
+	rth := 0.0
+	for i, t := range thicknesses {
+		if lambdas[i] <= 0 {
+			panic("material: non-positive conductivity in series stack")
+		}
+		rth += t / lambdas[i]
+	}
+	return rth
+}
+
+// EffectiveLambda converts a per-area resistance Rth of a slab of total
+// thickness t back into the equivalent uniform conductivity λ = t/Rth.
+// The stack builder uses this to express the aligned-and-shorted
+// µbump-TTSV pillar as a high-λ cell within the 20 µm D2D layer.
+func EffectiveLambda(thickness, rth float64) float64 {
+	if rth <= 0 {
+		panic("material: non-positive Rth")
+	}
+	return thickness / rth
+}

@@ -1,0 +1,106 @@
+package material
+
+import (
+	"math"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+)
+
+// The paper's headline Rth numbers (§2.5): the D2D layer at 13.33 mm²K/W
+// is ≈16x more resistive than bulk silicon (0.83) and ≈13x more than the
+// processor metal layers (1.0).
+func TestPaperRthNumbers(t *testing.T) {
+	d2d := MM2KPerW(D2DUnderfill.SheetRth(20 * geom.Micron))
+	if math.Abs(d2d-13.333) > 0.01 {
+		t.Fatalf("D2D Rth = %.3f mm²K/W, want 13.33", d2d)
+	}
+	si := MM2KPerW(Silicon.SheetRth(100 * geom.Micron))
+	if math.Abs(si-0.8333) > 0.001 {
+		t.Fatalf("bulk Si Rth = %.4f mm²K/W, want 0.833", si)
+	}
+	metal := MM2KPerW(ProcMetal.SheetRth(12 * geom.Micron))
+	if math.Abs(metal-1.0) > 0.001 {
+		t.Fatalf("proc metal Rth = %.4f mm²K/W, want 1.0", metal)
+	}
+	if ratio := d2d / si; ratio < 15.5 || ratio > 16.5 {
+		t.Fatalf("D2D/Si ratio = %.1f, want ≈16", ratio)
+	}
+	if ratio := d2d / metal; ratio < 12.8 || ratio > 13.8 {
+		t.Fatalf("D2D/metal ratio = %.1f, want ≈13", ratio)
+	}
+}
+
+// §4.1.2: the aligned-and-shorted pillar crossing the D2D layer has
+// Rth = 18µm/40 + 2µm/400 = 0.46 mm²K/W, ≈30x lower than 13.33.
+func TestShortedPillarRth(t *testing.T) {
+	rth := MM2KPerW(SeriesRth(
+		[]float64{18 * geom.Micron, 2 * geom.Micron},
+		[]float64{MicroBump.Conductivity, Copper.Conductivity},
+	))
+	if math.Abs(rth-0.455) > 0.005 {
+		t.Fatalf("pillar Rth = %.4f mm²K/W, want 0.455 (paper rounds to 0.46)", rth)
+	}
+	ratio := 13.333 / rth
+	if ratio < 28 || ratio > 31 {
+		t.Fatalf("improvement ratio = %.1f, want ≈30x", ratio)
+	}
+}
+
+// §4.1.2: the frontside metal layers of a DRAM die present only
+// 0.22 mm²K/W (d=2 µm, λ=9 W/mK).
+func TestFrontsideMetalRth(t *testing.T) {
+	rth := MM2KPerW(DRAMMetal.SheetRth(2 * geom.Micron))
+	if math.Abs(rth-0.222) > 0.002 {
+		t.Fatalf("frontside metal Rth = %.4f, want 0.22", rth)
+	}
+}
+
+// §6.1's worked example: a TSV bus of 25% Cu and 75% Si has an effective
+// λ of 190 W/mK.
+func TestCompositeTSVBus(t *testing.T) {
+	lam := Composite([]float64{0.25, 0.75}, []Props{Copper, Silicon})
+	if math.Abs(lam-190) > 1e-9 {
+		t.Fatalf("TSV bus λ = %g, want 190", lam)
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("mismatched lengths", func() {
+		Composite([]float64{1}, []Props{Copper, Silicon})
+	})
+	mustPanic("fractions != 1", func() {
+		Composite([]float64{0.25, 0.25}, []Props{Copper, Silicon})
+	})
+	mustPanic("negative fraction", func() {
+		Composite([]float64{-0.5, 1.5}, []Props{Copper, Silicon})
+	})
+}
+
+func TestEffectiveLambdaRoundTrip(t *testing.T) {
+	// λ -> Rth -> λ must round-trip for a uniform slab.
+	thick := 20 * geom.Micron
+	rth := D2DUnderfill.SheetRth(thick)
+	lam := EffectiveLambda(thick, rth)
+	if math.Abs(lam-D2DUnderfill.Conductivity) > 1e-12 {
+		t.Fatalf("round trip λ = %g, want %g", lam, D2DUnderfill.Conductivity)
+	}
+}
+
+func TestSeriesRthValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SeriesRth with zero λ did not panic")
+		}
+	}()
+	SeriesRth([]float64{1e-6}, []float64{0})
+}

@@ -1,0 +1,291 @@
+// Package perf couples the performance simulator, the power model and the
+// thermal solver into the paper's evaluation pipeline: run an application
+// at a frequency/placement, convert activity to per-block power, inject it
+// into a stack's thermal model, and iterate the temperature-dependent
+// leakage to a fixed point — the "power trace then HotSpot" methodology of
+// §6.3, with the leakage/temperature loop closed.
+package perf
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/xylem-sim/xylem/internal/cpusim"
+	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/power"
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
+	"github.com/xylem-sim/xylem/internal/workload"
+)
+
+// Evaluator owns the simulation configuration and caches activity results
+// so evaluating the same workload point against several stack schemes
+// re-runs only the (cheap) power/thermal stages.
+type Evaluator struct {
+	SimCfg cpusim.Config
+	Power  *power.Model
+
+	// LeakageIters bounds the power↔thermal fixed-point iterations.
+	LeakageIters int
+	// ConvergeC is the hotspot convergence threshold in °C.
+	ConvergeC float64
+
+	activityCache map[string]cpusim.Result
+	solverCache   map[*stack.Stack]*thermal.Solver
+}
+
+// NewEvaluator returns an evaluator with the paper's architecture.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{
+		SimCfg:        cpusim.DefaultConfig(),
+		Power:         power.DefaultModel(),
+		LeakageIters:  4,
+		ConvergeC:     0.05,
+		activityCache: make(map[string]cpusim.Result),
+		solverCache:   make(map[*stack.Stack]*thermal.Solver),
+	}
+}
+
+// UniformAssignments places n threads of app on cores 0..n-1 with the
+// standard measurement budget and warm-up.
+func UniformAssignments(app workload.Profile, n int) []cpusim.Assignment {
+	out := make([]cpusim.Assignment, n)
+	for i := range out {
+		out[i] = cpusim.Assignment{
+			Core:   i,
+			App:    app,
+			Thread: i,
+			Warmup: app.Instructions / 2,
+		}
+	}
+	return out
+}
+
+// PlacedAssignments places the threads of app on the given cores.
+func PlacedAssignments(app workload.Profile, cores []int) []cpusim.Assignment {
+	out := make([]cpusim.Assignment, len(cores))
+	for i, c := range cores {
+		out[i] = cpusim.Assignment{
+			Core:   c,
+			App:    app,
+			Thread: i,
+			Warmup: app.Instructions / 2,
+		}
+	}
+	return out
+}
+
+func activityKey(slices int, freqs []float64, assigns []cpusim.Assignment) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d;", slices)
+	for _, f := range freqs {
+		fmt.Fprintf(&b, "%.3f,", f)
+	}
+	for _, a := range assigns {
+		fmt.Fprintf(&b, "|%d:%s:%d:%d:%d", a.Core, a.App.Name, a.Thread, a.Instructions, a.Warmup)
+	}
+	return b.String()
+}
+
+// Activity runs the performance simulation (or returns a cached run).
+// slices is the number of stacked DRAM dies (it shapes the memory
+// system's rank count and address mapping, so it is part of the cache
+// key).
+func (e *Evaluator) Activity(slices int, freqs []float64, assigns []cpusim.Assignment) (cpusim.Result, error) {
+	key := activityKey(slices, freqs, assigns)
+	if r, ok := e.activityCache[key]; ok {
+		return r, nil
+	}
+	cfg := e.SimCfg
+	cfg.DRAM.Slices = slices
+	sim, err := cpusim.New(cfg, freqs, assigns)
+	if err != nil {
+		return cpusim.Result{}, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return cpusim.Result{}, err
+	}
+	e.activityCache[key] = res
+	return res, nil
+}
+
+// Outcome is one evaluated operating point.
+type Outcome struct {
+	// ProcHotC is the processor die's hotspot temperature (the metric
+	// every temperature figure in the paper reports).
+	ProcHotC float64
+	// DRAM0HotC is the hotspot of the bottom-most (hottest) memory die
+	// (Fig. 13).
+	DRAM0HotC float64
+	// ProcPowerW and DRAMPowerW are the die power totals.
+	ProcPowerW float64
+	DRAMPowerW float64
+	// TimeNs is the measured execution makespan; ThroughputGIPS the
+	// aggregate instruction throughput.
+	TimeNs         float64
+	ThroughputGIPS float64
+	// EnergyJ is stack energy over the measured interval.
+	EnergyJ float64
+	// CoreHotC is each core's own hotspot on the processor's active
+	// layer — the per-core view λ-aware policies act on.
+	CoreHotC []float64
+	// Temps is the full temperature field (layer-major).
+	Temps thermal.Temperature
+	// Result is the underlying simulation activity.
+	Result cpusim.Result
+}
+
+// solver returns (building if needed) the cached solver for a stack.
+func (e *Evaluator) solver(st *stack.Stack) (*thermal.Solver, error) {
+	if s, ok := e.solverCache[st]; ok {
+		return s, nil
+	}
+	s, err := thermal.NewSolver(st.Model)
+	if err != nil {
+		return nil, err
+	}
+	e.solverCache[st] = s
+	return s, nil
+}
+
+// Evaluate computes the steady-state thermal outcome of running the given
+// assignment at the given per-core frequencies on the given stack.
+func (e *Evaluator) Evaluate(st *stack.Stack, freqs []float64, assigns []cpusim.Assignment) (Outcome, error) {
+	res, err := e.Activity(st.Cfg.NumDRAMDies, freqs, assigns)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return e.Thermal(st, freqs, res)
+}
+
+// Thermal runs the power/thermal fixed point for an existing activity
+// result.
+func (e *Evaluator) Thermal(st *stack.Stack, freqs []float64, res cpusim.Result) (Outcome, error) {
+	if res.TimeNs <= 0 {
+		return Outcome{}, fmt.Errorf("perf: activity has zero duration")
+	}
+	solver, err := e.solver(st)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	var temps thermal.Temperature
+	blockTemp := func(name string) float64 {
+		if temps == nil {
+			return e.Power.TRefC
+		}
+		b, ok := st.Proc.Find(name)
+		if !ok {
+			return e.Power.TRefC
+		}
+		return temps.MeanOver(st.Model.Grid, st.ProcMetalLayer, b.Rect)
+	}
+
+	var out Outcome
+	prevHot := math.Inf(-1)
+	for iter := 0; iter < e.LeakageIters; iter++ {
+		procBP, err := e.Power.ProcPower(st.Proc, res, freqs, res.TimeNs, blockTemp)
+		if err != nil {
+			return Outcome{}, err
+		}
+		sliceP, err := e.Power.DRAMPower(res.DRAM, st.Cfg.NumDRAMDies, res.TimeNs)
+		if err != nil {
+			return Outcome{}, err
+		}
+		pm, err := e.buildPowerMap(st, procBP, sliceP)
+		if err != nil {
+			return Outcome{}, err
+		}
+		temps, err = solver.SteadyState(pm)
+		if err != nil {
+			return Outcome{}, err
+		}
+		hot, _ := temps.Max(st.ProcMetalLayer)
+		out.ProcPowerW = power.TotalProc(procBP)
+		out.DRAMPowerW = power.TotalDRAM(sliceP)
+		out.ProcHotC = hot
+		if math.Abs(hot-prevHot) < e.ConvergeC {
+			break
+		}
+		prevHot = hot
+	}
+
+	d0, _ := temps.Max(st.DRAMMetalLayers[0])
+	out.DRAM0HotC = d0
+	out.CoreHotC = make([]float64, len(res.Cores))
+	for c := range res.Cores {
+		out.CoreHotC[c] = temps.MaxOver(st.Model.Grid, st.ProcMetalLayer, st.Proc.CoreRect(c))
+	}
+	out.TimeNs = res.TimeNs
+	out.ThroughputGIPS = res.Throughput() / 1e9
+	out.EnergyJ = (out.ProcPowerW + out.DRAMPowerW) * res.TimeNs * 1e-9
+	out.Temps = temps
+	out.Result = res
+	return out, nil
+}
+
+// PowerMap converts an activity result into a thermal power map for a
+// stack, using the temperature field temps for the leakage term (nil for
+// an isothermal estimate at the leakage reference temperature).
+func (e *Evaluator) PowerMap(st *stack.Stack, freqs []float64, res cpusim.Result, temps thermal.Temperature) (thermal.PowerMap, error) {
+	if res.TimeNs <= 0 {
+		return nil, fmt.Errorf("perf: activity has zero duration")
+	}
+	blockTemp := func(name string) float64 {
+		if temps == nil {
+			return e.Power.TRefC
+		}
+		b, ok := st.Proc.Find(name)
+		if !ok {
+			return e.Power.TRefC
+		}
+		return temps.MeanOver(st.Model.Grid, st.ProcMetalLayer, b.Rect)
+	}
+	procBP, err := e.Power.ProcPower(st.Proc, res, freqs, res.TimeNs, blockTemp)
+	if err != nil {
+		return nil, err
+	}
+	sliceP, err := e.Power.DRAMPower(res.DRAM, st.Cfg.NumDRAMDies, res.TimeNs)
+	if err != nil {
+		return nil, err
+	}
+	return e.buildPowerMap(st, procBP, sliceP)
+}
+
+// buildPowerMap distributes block and slice powers onto the thermal grid.
+func (e *Evaluator) buildPowerMap(st *stack.Stack, procBP []power.BlockPower, sliceP []power.SlicePower) (thermal.PowerMap, error) {
+	pm := st.Model.NewPowerMap()
+	g := st.Model.Grid
+
+	for _, bp := range procBP {
+		b, ok := st.Proc.Find(bp.Name)
+		if !ok {
+			return nil, fmt.Errorf("perf: power for unknown proc block %q", bp.Name)
+		}
+		pm.AddBlock(g, st.ProcMetalLayer, b.Rect, bp.Watts)
+	}
+
+	if len(sliceP) != len(st.DRAMMetalLayers) {
+		return nil, fmt.Errorf("perf: %d slice powers for %d DRAM dies", len(sliceP), len(st.DRAMMetalLayers))
+	}
+	die := geom.NewRect(0, 0, st.DRAM.Width, st.DRAM.Height)
+	for s, sp := range sliceP {
+		layer := st.DRAMMetalLayers[s]
+		pm.AddBlock(g, layer, die, sp.BackgroundW)
+		for ch := range sp.BankW {
+			for b, w := range sp.BankW[ch] {
+				if w == 0 {
+					continue
+				}
+				blk, ok := st.DRAM.Find(fmt.Sprintf("bank_ch%db%d", ch, b))
+				if !ok {
+					return nil, fmt.Errorf("perf: no bank block ch%d b%d in DRAM floorplan", ch, b)
+				}
+				pm.AddBlock(g, layer, blk.Rect, w)
+			}
+		}
+	}
+	return pm, nil
+}

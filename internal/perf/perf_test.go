@@ -1,0 +1,254 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/workload"
+)
+
+// smallStack builds a coarse-grid stack for fast tests.
+func smallStack(t *testing.T, kind stack.SchemeKind) *stack.Stack {
+	t.Helper()
+	cfg := stack.DefaultConfig()
+	cfg.GridRows, cfg.GridCols = 16, 16
+	st, err := stack.Build(cfg, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func smallApp(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Instructions = 50000
+	return p
+}
+
+func TestEvaluateOutcomeSanity(t *testing.T) {
+	ev := NewEvaluator()
+	st := smallStack(t, stack.Base)
+	app := smallApp(t, "lu-nas")
+	o, err := ev.Evaluate(st, ev.Power.DVFS.Levels()[:1], nil)
+	if err == nil {
+		t.Fatal("expected error for wrong freq vector length")
+	}
+	freqs := make([]float64, ev.SimCfg.Cores)
+	for i := range freqs {
+		freqs[i] = 2.4
+	}
+	o, err = ev.Evaluate(st, freqs, UniformAssignments(app, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ProcHotC < st.Cfg.Ambient || o.ProcHotC > 200 {
+		t.Fatalf("proc hotspot %.1f °C implausible", o.ProcHotC)
+	}
+	if o.DRAM0HotC >= o.ProcHotC {
+		t.Fatalf("bottom DRAM (%.1f) hotter than the processor (%.1f): heat flows up",
+			o.DRAM0HotC, o.ProcHotC)
+	}
+	if o.ProcPowerW <= 0 || o.DRAMPowerW <= 0 || o.ThroughputGIPS <= 0 || o.EnergyJ <= 0 {
+		t.Fatalf("non-positive outcome fields: %+v", o)
+	}
+}
+
+// The activity cache must make repeated evaluations cheap and identical.
+func TestActivityCaching(t *testing.T) {
+	ev := NewEvaluator()
+	app := smallApp(t, "fft")
+	freqs := make([]float64, ev.SimCfg.Cores)
+	for i := range freqs {
+		freqs[i] = 2.4
+	}
+	as := UniformAssignments(app, 8)
+	a, err := ev.Activity(8, freqs, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ev.Activity(8, freqs, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TimeNs != b.TimeNs {
+		t.Fatal("cached activity differs")
+	}
+	// A different slice count is a different simulation.
+	c, err := ev.Activity(4, freqs, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.DRAM.PerSliceAccesses) != 4 {
+		t.Fatalf("slices not honoured: %d", len(c.DRAM.PerSliceAccesses))
+	}
+}
+
+// The power map's total must equal the reported die powers.
+func TestPowerMapMatchesOutcome(t *testing.T) {
+	ev := NewEvaluator()
+	st := smallStack(t, stack.BankE)
+	app := smallApp(t, "radiosity")
+	freqs := make([]float64, ev.SimCfg.Cores)
+	for i := range freqs {
+		freqs[i] = 2.4
+	}
+	as := UniformAssignments(app, 8)
+	o, err := ev.Evaluate(st, freqs, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := ev.PowerMap(st, freqs, o.Result, o.Temps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := o.ProcPowerW + o.DRAMPowerW
+	if math.Abs(pm.Total()-want) > 0.02*want {
+		t.Fatalf("power map total %.2f W vs outcome %.2f W", pm.Total(), want)
+	}
+}
+
+// The leakage fixed point must converge: the reported hotspot of two
+// consecutive evaluations of the same point must agree.
+func TestLeakageFixedPointStable(t *testing.T) {
+	ev := NewEvaluator()
+	st := smallStack(t, stack.Base)
+	app := smallApp(t, "lu-nas")
+	freqs := make([]float64, ev.SimCfg.Cores)
+	for i := range freqs {
+		freqs[i] = 2.4
+	}
+	as := UniformAssignments(app, 8)
+	a, err := ev.Evaluate(st, freqs, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ev.Evaluate(st, freqs, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.ProcHotC-b.ProcHotC) > 1e-9 {
+		t.Fatalf("evaluation not deterministic: %.4f vs %.4f", a.ProcHotC, b.ProcHotC)
+	}
+}
+
+// Leakage feedback must be directionally consistent: if the converged
+// hotspot sits above the leakage reference temperature, the converged
+// power must exceed the isothermal (reference-temperature) estimate, and
+// vice versa below it.
+func TestLeakageFeedbackConsistent(t *testing.T) {
+	ev := NewEvaluator()
+	st := smallStack(t, stack.Base)
+	app := smallApp(t, "lu-nas")
+	for _, f := range []float64{2.4, 3.5} {
+		freqs := make([]float64, ev.SimCfg.Cores)
+		for i := range freqs {
+			freqs[i] = f
+		}
+		as := UniformAssignments(app, 8)
+		o, err := ev.Evaluate(st, freqs, as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iso, err := ev.Power.ProcPower(st.Proc, o.Result, freqs, o.Result.TimeNs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isoTotal := 0.0
+		for _, b := range iso {
+			isoTotal += b.Watts
+		}
+		// The hotspot overstates the die mean; use a wide dead band
+		// around the reference where either direction is fine.
+		switch {
+		case o.ProcHotC > ev.Power.TRefC+12 && o.ProcPowerW <= isoTotal:
+			t.Fatalf("f=%.1f: hotspot %.1f °C well above Tref yet converged power %.2f ≤ isothermal %.2f",
+				f, o.ProcHotC, o.ProcPowerW, isoTotal)
+		case o.ProcHotC < ev.Power.TRefC-12 && o.ProcPowerW >= isoTotal:
+			t.Fatalf("f=%.1f: hotspot %.1f °C well below Tref yet converged power %.2f ≥ isothermal %.2f",
+				f, o.ProcHotC, o.ProcPowerW, isoTotal)
+		}
+	}
+}
+
+// Per-core hotspots: the busy cores of a partial placement must run
+// hotter than the idle ones, and the global hotspot equals the hottest
+// core's.
+func TestCoreHotspots(t *testing.T) {
+	ev := NewEvaluator()
+	st := smallStack(t, stack.Base)
+	app := smallApp(t, "lu-nas")
+	freqs := make([]float64, ev.SimCfg.Cores)
+	for i := range freqs {
+		freqs[i] = 2.4
+	}
+	busy := []int{1, 6}
+	o, err := ev.Evaluate(st, freqs, PlacedAssignments(app, busy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.CoreHotC) != ev.SimCfg.Cores {
+		t.Fatalf("%d core hotspots", len(o.CoreHotC))
+	}
+	for _, b := range busy {
+		for _, idle := range []int{0, 3, 4, 7} {
+			if o.CoreHotC[b] <= o.CoreHotC[idle] {
+				t.Fatalf("busy core %d (%.2f °C) not hotter than idle core %d (%.2f °C)",
+					b, o.CoreHotC[b], idle, o.CoreHotC[idle])
+			}
+		}
+	}
+	max := o.CoreHotC[0]
+	for _, v := range o.CoreHotC {
+		if v > max {
+			max = v
+		}
+	}
+	if math.Abs(max-o.ProcHotC) > 0.5 {
+		t.Fatalf("hottest core %.2f °C far from global hotspot %.2f °C", max, o.ProcHotC)
+	}
+}
+
+// Higher frequency must produce a hotter outcome on the same stack.
+func TestHotterAtHigherFrequency(t *testing.T) {
+	ev := NewEvaluator()
+	st := smallStack(t, stack.Base)
+	app := smallApp(t, "cholesky")
+	at := func(f float64) float64 {
+		freqs := make([]float64, ev.SimCfg.Cores)
+		for i := range freqs {
+			freqs[i] = f
+		}
+		o, err := ev.Evaluate(st, freqs, UniformAssignments(app, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.ProcHotC
+	}
+	if at(3.5) <= at(2.4) {
+		t.Fatal("3.5 GHz not hotter than 2.4 GHz")
+	}
+}
+
+func TestPlacedAssignments(t *testing.T) {
+	app := smallApp(t, "is")
+	as := PlacedAssignments(app, []int{2, 5, 7})
+	if len(as) != 3 {
+		t.Fatalf("%d assignments", len(as))
+	}
+	for i, a := range as {
+		if a.Thread != i {
+			t.Fatalf("thread ids not sequential")
+		}
+		if a.Warmup == 0 {
+			t.Fatal("no warmup set")
+		}
+	}
+	if as[0].Core != 2 || as[1].Core != 5 || as[2].Core != 7 {
+		t.Fatal("cores not honoured")
+	}
+}

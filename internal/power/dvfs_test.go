@@ -1,0 +1,69 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Clamp always returns a valid DVFS level, and clamping is
+// idempotent.
+func TestClampProperty(t *testing.T) {
+	d := DefaultDVFS()
+	levels := map[float64]bool{}
+	for _, f := range d.Levels() {
+		levels[f] = true
+	}
+	prop := func(raw float64) bool {
+		f := math.Mod(math.Abs(raw), 6) // 0..6 GHz inputs
+		c := d.Clamp(f)
+		if !levels[c] {
+			return false
+		}
+		return d.Clamp(c) == c
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Clamp never rounds up: the returned level is at most the input (within
+// the range).
+func TestClampNeverRoundsUp(t *testing.T) {
+	d := DefaultDVFS()
+	for f := 2.4; f <= 3.5; f += 0.013 {
+		c := d.Clamp(f)
+		if c > f+1e-9 {
+			t.Fatalf("Clamp(%g) = %g rounded up", f, c)
+		}
+		if f-c >= d.StepGHz {
+			t.Fatalf("Clamp(%g) = %g skipped a level", f, c)
+		}
+	}
+}
+
+// Voltage interpolation is linear between the endpoints.
+func TestVoltageInterpolation(t *testing.T) {
+	d := DefaultDVFS()
+	mid := (d.MinGHz + d.MaxGHz) / 2
+	want := (d.VMin + d.VMax) / 2
+	if v := d.Voltage(mid); math.Abs(v-want) > 1e-12 {
+		t.Fatalf("Voltage(mid) = %g, want %g", v, want)
+	}
+}
+
+// Dynamic power at a fixed activity must scale superlinearly in f (f·V²).
+func TestDynamicScalingSuperlinear(t *testing.T) {
+	d := DefaultDVFS()
+	// Relative dynamic power at constant activity: f·V(f)².
+	rel := func(f float64) float64 {
+		v := d.Voltage(f)
+		return f * v * v
+	}
+	lo, hi := rel(2.4), rel(3.5)
+	freqRatio := 3.5 / 2.4
+	if hi/lo <= freqRatio {
+		t.Fatalf("power ratio %.3f not above frequency ratio %.3f", hi/lo, freqRatio)
+	}
+}

@@ -1,0 +1,353 @@
+// Package power converts simulator activity into per-block power, playing
+// the role McPAT plays in the paper: per-architectural-block dynamic
+// energy-per-event constants at a 32 nm design point, a DVFS (V, f) table
+// spanning the paper's 2.4-3.5 GHz range in 100 MHz steps, and
+// area-proportional leakage with an exponential temperature dependence
+// (which the evaluation closes into a fixed point with the thermal
+// solver).
+//
+// The constants are calibrated so the base system lands in the envelope
+// the paper states (§6.2): 8-24 W in the processor die and 2-4.5 W in the
+// memory dies at 2.4 GHz, broadly validated against Intel's Xeon E3-1260L.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/xylem-sim/xylem/internal/cpusim"
+	"github.com/xylem-sim/xylem/internal/dram"
+	"github.com/xylem-sim/xylem/internal/floorplan"
+)
+
+// DVFS is the voltage/frequency operating-point table.
+type DVFS struct {
+	MinGHz, MaxGHz, StepGHz float64
+	// VMin and VMax are the supply voltages at the frequency extremes;
+	// intermediate points interpolate linearly.
+	VMin, VMax float64
+}
+
+// DefaultDVFS covers Table 3's 2.4-3.5 GHz range in 100 MHz steps.
+func DefaultDVFS() DVFS {
+	// The voltage range is narrow: the paper's power data (Fig. 11: +12%
+	// stack power for a +17% frequency boost) implies near-iso-voltage
+	// frequency scaling across the 2.4-3.5 GHz band.
+	return DVFS{MinGHz: 2.4, MaxGHz: 3.5, StepGHz: 0.1, VMin: 0.92, VMax: 1.00}
+}
+
+// Voltage returns the supply voltage at frequency f (GHz), clamped to the
+// table's range.
+func (d DVFS) Voltage(f float64) float64 {
+	if f <= d.MinGHz {
+		return d.VMin
+	}
+	if f >= d.MaxGHz {
+		return d.VMax
+	}
+	return d.VMin + (d.VMax-d.VMin)*(f-d.MinGHz)/(d.MaxGHz-d.MinGHz)
+}
+
+// Levels returns every operating frequency, ascending.
+func (d DVFS) Levels() []float64 {
+	var out []float64
+	// Walk in integer steps to dodge floating-point drift.
+	n := int(math.Round((d.MaxGHz-d.MinGHz)/d.StepGHz)) + 1
+	for i := 0; i < n; i++ {
+		out = append(out, math.Round((d.MinGHz+float64(i)*d.StepGHz)*1000)/1000)
+	}
+	return out
+}
+
+// Clamp snaps f to the nearest level at or below f, within the range.
+func (d DVFS) Clamp(f float64) float64 {
+	if f <= d.MinGHz {
+		return d.MinGHz
+	}
+	if f >= d.MaxGHz {
+		return d.MaxGHz
+	}
+	steps := math.Floor((f-d.MinGHz)/d.StepGHz + 1e-9)
+	return math.Round((d.MinGHz+steps*d.StepGHz)*1000) / 1000
+}
+
+// CoreEnergies holds the per-event dynamic energies in nanojoules at the
+// reference voltage. The split across blocks follows McPAT's usual
+// breakdown for a 4-issue out-of-order core at 32 nm.
+type CoreEnergies struct {
+	FetchNJ  float64 // per instruction (incl. L1I access)
+	DecodeNJ float64 // per instruction
+	ROBNJ    float64 // per instruction
+	IssueNJ  float64 // per instruction
+	IntRFNJ  float64 // per integer/branch/memory instruction
+	IntALUNJ float64 // per integer/branch op (incl. address generation)
+	FPUNJ    float64 // per FP op
+	FPRFNJ   float64 // per FP op
+	LSUNJ    float64 // per memory op
+	L1DNJ    float64 // per L1D access
+	L2NJ     float64 // per L2 access
+	L2MissNJ float64 // additional per L2 miss
+	BusNJ    float64 // per bus transaction (coherence/interconnect)
+	MCNJ     float64 // per DRAM access, spent in the memory controllers
+}
+
+// DefaultCoreEnergies returns the 32 nm calibration.
+func DefaultCoreEnergies() CoreEnergies {
+	return CoreEnergies{
+		FetchNJ:  0.045,
+		DecodeNJ: 0.035,
+		ROBNJ:    0.048,
+		IssueNJ:  0.048,
+		IntRFNJ:  0.044,
+		IntALUNJ: 0.039,
+		FPUNJ:    0.226,
+		FPRFNJ:   0.050,
+		LSUNJ:    0.050,
+		L1DNJ:    0.069,
+		L2NJ:     0.198,
+		L2MissNJ: 0.248,
+		BusNJ:    0.445,
+		MCNJ:     0.445,
+	}
+}
+
+// Model is the full power model.
+type Model struct {
+	DVFS DVFS
+	E    CoreEnergies
+
+	// VRef is the voltage the energy constants are quoted at.
+	VRef float64
+	// ProcLeakRefW is the whole processor die's leakage at VRef and TRefC.
+	ProcLeakRefW float64
+	// TRefC and TSlopeC parameterise leakage(T) = leak_ref · (V/VRef) ·
+	// exp((T-TRefC)/TSlopeC).
+	TRefC, TSlopeC float64
+
+	// DRAMBackgroundW is the standby power of one memory die.
+	DRAMBackgroundW float64
+	// DRAMAccessNJ is the energy of one 64 B line transfer including its
+	// share of row activity; DRAMRefreshNJ the energy of one refresh.
+	DRAMAccessNJ  float64
+	DRAMRefreshNJ float64
+}
+
+// DefaultModel returns the calibrated evaluation model.
+func DefaultModel() *Model {
+	return &Model{
+		DVFS:            DefaultDVFS(),
+		E:               DefaultCoreEnergies(),
+		VRef:            0.92,
+		ProcLeakRefW:    4.5,
+		TRefC:           85,
+		TSlopeC:         50,
+		DRAMBackgroundW: 0.20,
+		DRAMAccessNJ:    2.0,
+		DRAMRefreshNJ:   40,
+	}
+}
+
+// BlockPower is one floorplan block's power in watts.
+type BlockPower struct {
+	Name  string
+	Watts float64
+}
+
+// ProcPower computes per-block processor-die powers from simulator
+// activity. freqs gives each core's clock (GHz); blockTemp supplies the
+// current temperature estimate of each block for the leakage term (pass
+// nil for an isothermal first iteration at TRefC). elapsedNs is the
+// measured interval the activity was collected over.
+func (m *Model) ProcPower(fp *floorplan.Floorplan, res cpusim.Result, freqs []float64, elapsedNs float64, blockTemp func(name string) float64) ([]BlockPower, error) {
+	if elapsedNs <= 0 {
+		return nil, fmt.Errorf("power: non-positive interval %g ns", elapsedNs)
+	}
+	if len(freqs) != len(res.Cores) {
+		return nil, fmt.Errorf("power: %d freqs for %d cores", len(freqs), len(res.Cores))
+	}
+	temp := blockTemp
+	if temp == nil {
+		temp = func(string) float64 { return m.TRefC }
+	}
+	seconds := elapsedNs * 1e-9
+	dieArea := fp.Area()
+	leakDensity := m.ProcLeakRefW / dieArea // W/m² at VRef, TRefC
+
+	var out []BlockPower
+	var totalBusTx, totalDRAMAcc float64
+	for _, cs := range res.Cores {
+		totalBusTx += float64(cs.BusTx)
+		totalDRAMAcc += float64(cs.L2Misses)
+	}
+
+	for _, b := range fp.Blocks {
+		var dynW float64
+		switch b.Kind {
+		case floorplan.UnitCoreBlock:
+			cs := res.Cores[b.Core]
+			v := m.DVFS.Voltage(freqs[b.Core])
+			scale := (v / m.VRef) * (v / m.VRef) // dynamic CV²f: energy ∝ V²
+			e := m.blockEnergyNJ(b.Role, cs)
+			// A core's dynamic power is its energy over its own active
+			// span, not the global makespan: threads run continuously at
+			// steady state, and a fast thread's fixed instruction budget
+			// finishing early must not dilute its power density.
+			span := cs.TimeNs * 1e-9
+			if span <= 0 {
+				span = seconds
+			}
+			dynW = e * 1e-9 * scale / span
+		case floorplan.UnitLLC:
+			// The central region hosts the snoopy bus and interconnect;
+			// spread the bus energy over the LLC blocks by area.
+			v := m.meanVoltage(freqs)
+			scale := (v / m.VRef) * (v / m.VRef)
+			share := b.Rect.Area() / m.llcArea(fp)
+			dynW = m.E.BusNJ * totalBusTx * 1e-9 * scale * share / seconds
+		case floorplan.UnitMemCtrl:
+			v := m.meanVoltage(freqs)
+			scale := (v / m.VRef) * (v / m.VRef)
+			dynW = m.E.MCNJ * totalDRAMAcc * 1e-9 * scale / 4 / seconds
+		}
+		// Leakage: area-proportional, voltage- and temperature-dependent.
+		vLeak := m.meanVoltage(freqs)
+		if b.Kind == floorplan.UnitCoreBlock {
+			vLeak = m.DVFS.Voltage(freqs[b.Core])
+		}
+		// Clamp the temperature input: a real system's DTM never lets
+		// the die past ~130 °C, and an unclamped exponential can run
+		// away numerically when exploring out-of-envelope points.
+		t := math.Min(temp(b.Name), 130)
+		leakW := leakDensity * b.Rect.Area() * (vLeak / m.VRef) *
+			math.Exp((t-m.TRefC)/m.TSlopeC)
+		out = append(out, BlockPower{Name: b.Name, Watts: dynW + leakW})
+	}
+	return out, nil
+}
+
+// blockEnergyNJ maps a core block role to its total dynamic energy in nJ
+// over the measured interval.
+func (m *Model) blockEnergyNJ(role floorplan.BlockRole, cs cpusim.CoreStats) float64 {
+	instr := float64(cs.Instructions)
+	memOps := float64(cs.Loads + cs.Stores)
+	intish := float64(cs.IntOps+cs.Branches) + memOps // RF/ALU users
+	switch role {
+	case floorplan.RoleFetch:
+		return m.E.FetchNJ * instr
+	case floorplan.RoleDecode:
+		return m.E.DecodeNJ * instr
+	case floorplan.RoleROB:
+		return m.E.ROBNJ * instr
+	case floorplan.RoleIssueQ:
+		return m.E.IssueNJ * instr
+	case floorplan.RoleIntRF:
+		return m.E.IntRFNJ * intish
+	case floorplan.RoleIntALU:
+		return m.E.IntALUNJ * intish
+	case floorplan.RoleFPU:
+		return m.E.FPUNJ * float64(cs.FPOps)
+	case floorplan.RoleFPRF:
+		return m.E.FPRFNJ * float64(cs.FPOps)
+	case floorplan.RoleLSU:
+		return m.E.LSUNJ * memOps
+	case floorplan.RoleL1I:
+		return m.E.FetchNJ * instr
+	case floorplan.RoleL1D:
+		return m.E.L1DNJ * memOps
+	case floorplan.RoleL2:
+		return m.E.L2NJ*float64(cs.L2Accesses) + m.E.L2MissNJ*float64(cs.L2Misses)
+	default:
+		return 0
+	}
+}
+
+func (m *Model) meanVoltage(freqs []float64) float64 {
+	if len(freqs) == 0 {
+		return m.VRef
+	}
+	s := 0.0
+	for _, f := range freqs {
+		s += m.DVFS.Voltage(f)
+	}
+	return s / float64(len(freqs))
+}
+
+func (m *Model) llcArea(fp *floorplan.Floorplan) float64 {
+	a := 0.0
+	for _, b := range fp.Blocks {
+		if b.Kind == floorplan.UnitLLC {
+			a += b.Rect.Area()
+		}
+	}
+	if a == 0 {
+		return fp.Area()
+	}
+	return a
+}
+
+// SlicePower is one memory die's power: a die-wide background component
+// plus per-bank activity power, indexed by [channel][bank] to match the
+// slice floorplan's bank naming.
+type SlicePower struct {
+	BackgroundW float64
+	BankW       [][]float64
+}
+
+// Total returns the slice's total power.
+func (sp SlicePower) Total() float64 {
+	t := sp.BackgroundW
+	for _, ch := range sp.BankW {
+		for _, w := range ch {
+			t += w
+		}
+	}
+	return t
+}
+
+// DRAMPower computes per-slice power from controller statistics over the
+// measured interval.
+func (m *Model) DRAMPower(st dram.Stats, slices int, elapsedNs float64) ([]SlicePower, error) {
+	if elapsedNs <= 0 {
+		return nil, fmt.Errorf("power: non-positive interval %g ns", elapsedNs)
+	}
+	if len(st.PerBankAccesses) != slices {
+		return nil, fmt.Errorf("power: stats cover %d slices, want %d", len(st.PerBankAccesses), slices)
+	}
+	seconds := elapsedNs * 1e-9
+	var totalAcc float64
+	for _, s := range st.PerSliceAccesses {
+		totalAcc += float64(s)
+	}
+	refreshW := m.DRAMRefreshNJ * float64(st.Refreshes) * 1e-9 / seconds
+	out := make([]SlicePower, slices)
+	for s := range out {
+		// Refresh power spreads evenly across slices.
+		out[s].BackgroundW = m.DRAMBackgroundW + refreshW/float64(slices)
+		out[s].BankW = make([][]float64, len(st.PerBankAccesses[s]))
+		for ch := range st.PerBankAccesses[s] {
+			out[s].BankW[ch] = make([]float64, len(st.PerBankAccesses[s][ch]))
+			for b, n := range st.PerBankAccesses[s][ch] {
+				out[s].BankW[ch][b] = m.DRAMAccessNJ * float64(n) * 1e-9 / seconds
+			}
+		}
+	}
+	return out, nil
+}
+
+// TotalProc sums a block-power list.
+func TotalProc(bp []BlockPower) float64 {
+	t := 0.0
+	for _, b := range bp {
+		t += b.Watts
+	}
+	return t
+}
+
+// TotalDRAM sums slice powers.
+func TotalDRAM(sp []SlicePower) float64 {
+	t := 0.0
+	for _, s := range sp {
+		t += s.Total()
+	}
+	return t
+}

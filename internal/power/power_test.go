@@ -1,0 +1,265 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/cpusim"
+	"github.com/xylem-sim/xylem/internal/floorplan"
+	"github.com/xylem-sim/xylem/internal/workload"
+)
+
+func TestDVFSLevels(t *testing.T) {
+	d := DefaultDVFS()
+	levels := d.Levels()
+	// Table 3: 2.4-3.5 GHz in 100 MHz steps = 12 levels.
+	if len(levels) != 12 {
+		t.Fatalf("%d DVFS levels, want 12", len(levels))
+	}
+	if levels[0] != 2.4 || levels[len(levels)-1] != 3.5 {
+		t.Fatalf("range [%g, %g], want [2.4, 3.5]", levels[0], levels[len(levels)-1])
+	}
+	for i := 1; i < len(levels); i++ {
+		if math.Abs(levels[i]-levels[i-1]-0.1) > 1e-9 {
+			t.Fatalf("step %g between %g and %g", levels[i]-levels[i-1], levels[i-1], levels[i])
+		}
+	}
+}
+
+func TestDVFSVoltageMonotone(t *testing.T) {
+	d := DefaultDVFS()
+	prev := 0.0
+	for _, f := range d.Levels() {
+		v := d.Voltage(f)
+		if v < prev {
+			t.Fatalf("voltage not monotone at %g GHz", f)
+		}
+		prev = v
+	}
+	if d.Voltage(1.0) != d.VMin || d.Voltage(9.9) != d.VMax {
+		t.Fatal("voltage clamping broken")
+	}
+}
+
+func TestDVFSClamp(t *testing.T) {
+	d := DefaultDVFS()
+	cases := []struct{ in, want float64 }{
+		{2.0, 2.4}, {2.4, 2.4}, {2.45, 2.4}, {2.5, 2.5}, {3.49, 3.4}, {3.5, 3.5}, {4.2, 3.5},
+	}
+	for _, c := range cases {
+		if got := d.Clamp(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Clamp(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+// simulate runs a small 8-thread simulation for power tests.
+func simulate(t *testing.T, app string, fGHz float64) (cpusim.Result, []float64) {
+	t.Helper()
+	p, err := workload.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpusim.DefaultConfig()
+	freqs := make([]float64, cfg.Cores)
+	var as []cpusim.Assignment
+	for i := 0; i < cfg.Cores; i++ {
+		freqs[i] = fGHz
+		as = append(as, cpusim.Assignment{Core: i, App: p, Thread: i, Instructions: 60000, Warmup: 60000})
+	}
+	s, err := cpusim.New(cfg, freqs, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, freqs
+}
+
+func procDie(t *testing.T) *floorplan.Floorplan {
+	t.Helper()
+	fp, err := floorplan.BuildProcDie(floorplan.DefaultProcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// §6.2: the base system consumes 8-24 W in the processor die at 2.4 GHz.
+func TestProcPowerEnvelope(t *testing.T) {
+	m := DefaultModel()
+	fp := procDie(t)
+	for _, app := range []string{"lu-nas", "is", "fft"} {
+		res, freqs := simulate(t, app, 2.4)
+		bp, err := m.ProcPower(fp, res, freqs, res.TimeNs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := TotalProc(bp)
+		if total < 6 || total > 26 {
+			t.Errorf("%s: proc power %.1f W outside the paper's 8-24 W envelope", app, total)
+		}
+	}
+}
+
+// Compute-bound apps must burn more processor power than memory-bound.
+func TestPowerOrderingByClass(t *testing.T) {
+	m := DefaultModel()
+	fp := procDie(t)
+	resLU, freqs := simulate(t, "lu-nas", 2.4)
+	resIS, _ := simulate(t, "is", 2.4)
+	lu, err := m.ProcPower(fp, resLU, freqs, resLU.TimeNs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := m.ProcPower(fp, resIS, freqs, resIS.TimeNs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalProc(lu) <= TotalProc(is) {
+		t.Fatalf("lu-nas power %.1f W not above is %.1f W", TotalProc(lu), TotalProc(is))
+	}
+}
+
+// Power must increase with frequency (dynamic ∝ f·V²).
+func TestPowerIncreasesWithFrequency(t *testing.T) {
+	m := DefaultModel()
+	fp := procDie(t)
+	resLo, fLo := simulate(t, "lu-nas", 2.4)
+	resHi, fHi := simulate(t, "lu-nas", 3.5)
+	lo, _ := m.ProcPower(fp, resLo, fLo, resLo.TimeNs, nil)
+	hi, _ := m.ProcPower(fp, resHi, fHi, resHi.TimeNs, nil)
+	ratio := TotalProc(hi) / TotalProc(lo)
+	if ratio < 1.2 {
+		t.Fatalf("power ratio %.2f from 2.4 to 3.5 GHz, want >1.2", ratio)
+	}
+	if ratio > 2.5 {
+		t.Fatalf("power ratio %.2f implausibly high", ratio)
+	}
+}
+
+// Every floorplan block must receive a power entry, and every core block
+// must carry non-zero leakage even when idle.
+func TestPowerCoversAllBlocks(t *testing.T) {
+	m := DefaultModel()
+	fp := procDie(t)
+	res, freqs := simulate(t, "fft", 2.4)
+	bp, err := m.ProcPower(fp, res, freqs, res.TimeNs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bp) != len(fp.Blocks) {
+		t.Fatalf("%d block powers for %d blocks", len(bp), len(fp.Blocks))
+	}
+	for _, b := range bp {
+		if b.Watts <= 0 {
+			t.Fatalf("block %s has power %.3g W (leakage must be positive)", b.Name, b.Watts)
+		}
+	}
+}
+
+// Hotter blocks must leak more; the clamp must cap the runaway.
+func TestLeakageTemperatureDependence(t *testing.T) {
+	m := DefaultModel()
+	fp := procDie(t)
+	res, freqs := simulate(t, "blackscholes", 2.4)
+	at := func(temp float64) float64 {
+		bp, err := m.ProcPower(fp, res, freqs, res.TimeNs, func(string) float64 { return temp })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return TotalProc(bp)
+	}
+	cool, ref, hot := at(60), at(85), at(110)
+	if !(cool < ref && ref < hot) {
+		t.Fatalf("leakage not monotone in T: %.2f / %.2f / %.2f", cool, ref, hot)
+	}
+	// The clamp: beyond 130 °C nothing grows.
+	if at(130) != at(200) {
+		t.Fatal("leakage clamp at 130 °C not applied")
+	}
+}
+
+// The FPU block of an FP-heavy app must be the hottest (highest power
+// density) core block — it is the paper's canonical hotspot.
+func TestFPUIsHotspotForFPApps(t *testing.T) {
+	m := DefaultModel()
+	fp := procDie(t)
+	res, freqs := simulate(t, "lu-nas", 2.4)
+	bp, err := m.ProcPower(fp, res, freqs, res.TimeNs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := map[string]float64{}
+	for _, b := range bp {
+		blk, _ := fp.Find(b.Name)
+		if blk.Kind == floorplan.UnitCoreBlock && blk.Core == 0 {
+			density[blk.Role.String()] = b.Watts / blk.Rect.Area()
+		}
+	}
+	for role, d := range density {
+		if role == "fpu" {
+			continue
+		}
+		if d > density["fpu"] {
+			t.Fatalf("block %s density %.3g exceeds FPU %.3g for an FP-heavy app", role, d, density["fpu"])
+		}
+	}
+}
+
+// §6.2: the memory dies consume 2-4.5 W total at 2.4 GHz.
+func TestDRAMPowerEnvelope(t *testing.T) {
+	m := DefaultModel()
+	for _, app := range []string{"lu-nas", "is"} {
+		res, _ := simulate(t, app, 2.4)
+		sp, err := m.DRAMPower(res.DRAM, 8, res.TimeNs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := TotalDRAM(sp)
+		if total < 1.2 || total > 6 {
+			t.Errorf("%s: DRAM power %.2f W outside the 2-4.5 W envelope", app, total)
+		}
+	}
+}
+
+func TestDRAMPowerShape(t *testing.T) {
+	m := DefaultModel()
+	res, _ := simulate(t, "is", 2.4)
+	sp, err := m.DRAMPower(res.DRAM, 8, res.TimeNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != 8 {
+		t.Fatalf("%d slice powers, want 8", len(sp))
+	}
+	for s, p := range sp {
+		if p.BackgroundW <= 0 {
+			t.Fatalf("slice %d background power %.3g", s, p.BackgroundW)
+		}
+		if p.Total() < p.BackgroundW {
+			t.Fatalf("slice %d total below background", s)
+		}
+	}
+	// Shape mismatch must be rejected.
+	if _, err := m.DRAMPower(res.DRAM, 4, res.TimeNs); err == nil {
+		t.Fatal("slice-count mismatch accepted")
+	}
+	if _, err := m.DRAMPower(res.DRAM, 8, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestProcPowerValidation(t *testing.T) {
+	m := DefaultModel()
+	fp := procDie(t)
+	res, freqs := simulate(t, "fft", 2.4)
+	if _, err := m.ProcPower(fp, res, freqs, 0, nil); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := m.ProcPower(fp, res, freqs[:2], res.TimeNs, nil); err == nil {
+		t.Fatal("wrong freq count accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Package render turns solved temperature fields into human-consumable
+// artefacts: ASCII heatmaps for terminals and PGM/PPM images for files.
+// It keeps the simulator's output inspectable without any plotting
+// dependencies.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+// ramp is the ASCII intensity ramp, cold to hot.
+var ramp = []byte(" .:-=+*#%@")
+
+// ASCII writes one layer of a temperature field as an ASCII heatmap.
+// Rows are printed top-down (row Rows-1 first) so the picture matches the
+// floorplan orientation. The scale spans [min, max] of the layer unless
+// loC/hiC pin it (pass NaN to auto-scale either end).
+func ASCII(w io.Writer, g geom.Grid, field []float64, loC, hiC float64) error {
+	if len(field) != g.NumCells() {
+		return fmt.Errorf("render: field has %d cells, grid %d", len(field), g.NumCells())
+	}
+	lo, hi := loC, hiC
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, v := range field {
+			mn = math.Min(mn, v)
+			mx = math.Max(mx, v)
+		}
+		if math.IsNaN(lo) {
+			lo = mn
+		}
+		if math.IsNaN(hi) {
+			hi = mx
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	for row := g.Rows - 1; row >= 0; row-- {
+		line := make([]byte, g.Cols)
+		for col := 0; col < g.Cols; col++ {
+			v := (field[g.Index(row, col)] - lo) / span
+			idx := int(v * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			line[col] = ramp[idx]
+		}
+		if _, err := fmt.Fprintf(w, "|%s|\n", line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "scale: ' '=%.1f°C .. '@'=%.1f°C\n", lo, hi)
+	return err
+}
+
+// PPM writes one layer as a binary PPM image (magnify pixels per cell)
+// using a blue→red thermal colour map. PPM is chosen because every image
+// tool reads it and it needs no encoder dependencies.
+func PPM(w io.Writer, g geom.Grid, field []float64, magnify int) error {
+	if len(field) != g.NumCells() {
+		return fmt.Errorf("render: field has %d cells, grid %d", len(field), g.NumCells())
+	}
+	if magnify < 1 {
+		magnify = 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range field {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	width, height := g.Cols*magnify, g.Rows*magnify
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, width*height*3)
+	for py := 0; py < height; py++ {
+		row := g.Rows - 1 - py/magnify
+		for px := 0; px < width; px++ {
+			col := px / magnify
+			v := (field[g.Index(row, col)] - lo) / span
+			r, gr, b := thermalColour(v)
+			buf = append(buf, r, gr, b)
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// thermalColour maps [0,1] onto a blue→cyan→yellow→red ramp.
+func thermalColour(v float64) (r, g, b byte) {
+	v = math.Max(0, math.Min(1, v))
+	switch {
+	case v < 1.0/3:
+		t := v * 3
+		return 0, byte(255 * t), 255
+	case v < 2.0/3:
+		t := (v - 1.0/3) * 3
+		return byte(255 * t), 255, byte(255 * (1 - t))
+	default:
+		t := (v - 2.0/3) * 3
+		return 255, byte(255 * (1 - t)), 0
+	}
+}
+
+// LayerSummary prints a one-line min/mean/max summary for every layer of
+// a field — a quick vertical profile through the stack.
+func LayerSummary(w io.Writer, names []string, field thermal.Temperature) error {
+	if len(names) != len(field) {
+		return fmt.Errorf("render: %d names for %d layers", len(names), len(field))
+	}
+	for li := len(field) - 1; li >= 0; li-- {
+		mn, mx, sum := math.Inf(1), math.Inf(-1), 0.0
+		for _, v := range field[li] {
+			mn = math.Min(mn, v)
+			mx = math.Max(mx, v)
+			sum += v
+		}
+		if _, err := fmt.Fprintf(w, "%-14s min=%6.2f mean=%6.2f max=%6.2f °C\n",
+			names[li], mn, sum/float64(len(field[li])), mx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

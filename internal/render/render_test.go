@@ -1,0 +1,142 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+func gradient(g geom.Grid) []float64 {
+	f := make([]float64, g.NumCells())
+	for row := 0; row < g.Rows; row++ {
+		for col := 0; col < g.Cols; col++ {
+			f[g.Index(row, col)] = 50 + float64(row+col)
+		}
+	}
+	return f
+}
+
+func TestASCIIShape(t *testing.T) {
+	g := geom.NewGrid(4, 6, 6e-3, 4e-3)
+	var b bytes.Buffer
+	if err := ASCII(&b, g, gradient(g), math.NaN(), math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != g.Rows+1 { // rows + scale line
+		t.Fatalf("%d lines, want %d", len(lines), g.Rows+1)
+	}
+	for _, l := range lines[:g.Rows] {
+		if len(l) != g.Cols+2 { // |......|
+			t.Fatalf("row %q has width %d, want %d", l, len(l), g.Cols+2)
+		}
+	}
+	// Hottest corner (top-right of the field = first printed row, last
+	// col) must use the hottest glyph; coldest corner the coldest glyph.
+	if lines[0][g.Cols] != '@' {
+		t.Fatalf("hot corner glyph %q", lines[0][g.Cols])
+	}
+	if lines[g.Rows-1][1] != ' ' {
+		t.Fatalf("cold corner glyph %q", lines[g.Rows-1][1])
+	}
+	if !strings.Contains(lines[g.Rows], "scale") {
+		t.Fatal("no scale line")
+	}
+}
+
+func TestASCIIFixedScaleClamps(t *testing.T) {
+	g := geom.NewGrid(2, 2, 1, 1)
+	var b bytes.Buffer
+	// Field outside the pinned scale must clamp, not panic.
+	if err := ASCII(&b, g, []float64{0, 50, 100, 200}, 60, 90); err != nil {
+		t.Fatal(err)
+	}
+	if err := ASCII(&b, g, []float64{1, 1, 1, 1}, math.NaN(), math.NaN()); err != nil {
+		t.Fatal(err) // zero span must not divide by zero
+	}
+}
+
+func TestASCIIRejectsBadField(t *testing.T) {
+	g := geom.NewGrid(4, 4, 1, 1)
+	if err := ASCII(&bytes.Buffer{}, g, make([]float64, 3), math.NaN(), math.NaN()); err == nil {
+		t.Fatal("short field accepted")
+	}
+}
+
+func TestPPMHeader(t *testing.T) {
+	g := geom.NewGrid(3, 5, 5e-3, 3e-3)
+	var b bytes.Buffer
+	if err := PPM(&b, g, gradient(g), 4); err != nil {
+		t.Fatal(err)
+	}
+	out := b.Bytes()
+	if !bytes.HasPrefix(out, []byte("P6\n20 12\n255\n")) {
+		t.Fatalf("header: %q", out[:20])
+	}
+	wantPixels := 20 * 12 * 3
+	header := bytes.Index(out, []byte("255\n")) + 4
+	if len(out)-header != wantPixels {
+		t.Fatalf("%d pixel bytes, want %d", len(out)-header, wantPixels)
+	}
+}
+
+// The PPM's hottest cell must render redder than its coldest cell.
+func TestPPMHotspotIsRed(t *testing.T) {
+	g := geom.NewGrid(2, 2, 1, 1)
+	field := []float64{50, 60, 70, 95} // cell (1,1) hottest, (0,0) coldest
+	var b bytes.Buffer
+	if err := PPM(&b, g, field, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.Bytes()
+	px := out[bytes.Index(out, []byte("255\n"))+4:]
+	// Row order is top-down: pixel 0 is cell (1,0), pixel 1 is (1,1),
+	// pixel 2 is (0,0), pixel 3 is (0,1).
+	hot := px[3:6]  // cell (1,1)
+	cold := px[6:9] // cell (0,0)
+	if !(hot[0] == 255 && hot[2] == 0) {
+		t.Fatalf("hot pixel %v not red", hot)
+	}
+	if !(cold[2] == 255 && cold[0] == 0) {
+		t.Fatalf("cold pixel %v not blue", cold)
+	}
+}
+
+func TestThermalColourEndpoints(t *testing.T) {
+	r, g, b := thermalColour(0)
+	if r != 0 || g != 0 || b != 255 {
+		t.Fatalf("cold end = %d,%d,%d, want blue", r, g, b)
+	}
+	r, g, b = thermalColour(1)
+	if r != 255 || g != 0 || b != 0 {
+		t.Fatalf("hot end = %d,%d,%d, want red", r, g, b)
+	}
+	// Out-of-range clamps.
+	r1, g1, b1 := thermalColour(-5)
+	if r1 != 0 || g1 != 0 || b1 != 255 {
+		t.Fatal("below-range did not clamp")
+	}
+}
+
+func TestLayerSummary(t *testing.T) {
+	field := thermal.Temperature{{50, 60}, {70, 80}}
+	var b bytes.Buffer
+	if err := LayerSummary(&b, []string{"bottom", "top"}, field); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if !strings.Contains(s, "bottom") || !strings.Contains(s, "top") {
+		t.Fatalf("summary missing layers:\n%s", s)
+	}
+	// Top layer prints first.
+	if strings.Index(s, "top") > strings.Index(s, "bottom") {
+		t.Fatal("layers not printed top-down")
+	}
+	if err := LayerSummary(&b, []string{"x"}, field); err == nil {
+		t.Fatal("name/layer mismatch accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package stack
+
+import (
+	"github.com/xylem-sim/xylem/internal/floorplan"
+	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/material"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+// BuildBlockModel derives a HotSpot-style block-mode model from a stack:
+// the power-dissipating layers keep their floorplan blocks as nodes,
+// while the passive layers collapse to single full-die nodes with
+// area-composite conductivities. TTSV pillars and µbump sites cannot be
+// represented at their true footprint in block mode — they are smeared
+// into their layer's composite λ, which is precisely the inaccuracy that
+// makes the paper (and this reproduction) prefer grid mode for results.
+// The block model exists for cross-validation and for cheap first-order
+// sweeps.
+func (st *Stack) BuildBlockModel() (*thermal.BlockModel, error) {
+	cfg := st.Cfg
+	m := &thermal.BlockModel{
+		Width:   st.Proc.Width,
+		Height:  st.Proc.Height,
+		TopH:    cfg.TopH,
+		BottomH: cfg.BottomH,
+		Ambient: cfg.Ambient,
+	}
+
+	die := geom.NewRect(0, 0, st.Proc.Width, st.Proc.Height)
+	dieArea := die.Area()
+
+	// Composite conductivities for the smeared layers.
+	bus, _ := st.DRAM.Find("tsvbus")
+	busFrac := bus.Rect.Area() / dieArea
+	ttsvArea := 0.0
+	for _, r := range st.Scheme.SiteRects() {
+		ttsvArea += r.Area()
+	}
+	ttsvFrac := ttsvArea / dieArea
+
+	siliconLambda := material.Silicon.Conductivity*(1-busFrac-ttsvFrac) +
+		cfg.TSVBusLambda*busFrac +
+		st.Scheme.Spec.Lambda*ttsvFrac
+
+	d2dBase := cfg.D2DLambda
+	if d2dBase <= 0 {
+		d2dBase = material.D2DUnderfill.Conductivity
+	}
+	d2dLambda := d2dBase
+	if st.Scheme.Shorted {
+		pillar := material.EffectiveLambda(cfg.D2DThickness, st.Scheme.Spec.PillarRth())
+		d2dLambda = d2dBase*(1-ttsvFrac) + pillar*ttsvFrac
+	}
+
+	single := func(name string, lambda, volCap float64) []thermal.BlockNode {
+		return []thermal.BlockNode{{Name: name, Rect: die, Lambda: lambda, VolCap: volCap}}
+	}
+	fromFloorplan := func(fp *floorplan.Floorplan, lambda, volCap float64) []thermal.BlockNode {
+		out := make([]thermal.BlockNode, len(fp.Blocks))
+		for i, b := range fp.Blocks {
+			out[i] = thermal.BlockNode{Name: b.Name, Rect: b.Rect, Lambda: lambda, VolCap: volCap}
+		}
+		return out
+	}
+
+	m.Layers = append(m.Layers,
+		thermal.BlockLayer{Name: "proc-metal", Thickness: cfg.ProcMetalThickness,
+			Blocks: fromFloorplan(st.Proc, material.ProcMetal.Conductivity, material.ProcMetal.VolHeatCapacity)},
+		thermal.BlockLayer{Name: "proc-silicon", Thickness: cfg.DieThickness,
+			Blocks: single("si", siliconLambda, material.Silicon.VolHeatCapacity)},
+	)
+	for d := 0; d < cfg.NumDRAMDies; d++ {
+		m.Layers = append(m.Layers,
+			thermal.BlockLayer{Name: "d2d", Thickness: cfg.D2DThickness,
+				Blocks: single("d2d", d2dLambda, material.D2DUnderfill.VolHeatCapacity)},
+			thermal.BlockLayer{Name: "dram-metal", Thickness: cfg.DRAMMetalThickness,
+				Blocks: fromFloorplan(st.DRAM, material.DRAMMetal.Conductivity, material.DRAMMetal.VolHeatCapacity)},
+			thermal.BlockLayer{Name: "dram-silicon", Thickness: cfg.DieThickness,
+				Blocks: single("si", siliconLambda, material.Silicon.VolHeatCapacity)},
+		)
+	}
+	m.Layers = append(m.Layers,
+		thermal.BlockLayer{Name: "tim", Thickness: cfg.TIMThickness,
+			Blocks: single("tim", material.TIM.Conductivity, material.TIM.VolHeatCapacity)},
+		thermal.BlockLayer{Name: "ihs", Thickness: cfg.IHSThickness,
+			Blocks: single("ihs", material.Copper.Conductivity, material.Copper.VolHeatCapacity)},
+		thermal.BlockLayer{Name: "sink", Thickness: cfg.SinkThickness,
+			Blocks: single("sink", material.Copper.Conductivity, material.Copper.VolHeatCapacity)},
+	)
+	return m, nil
+}

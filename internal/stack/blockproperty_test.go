@@ -1,0 +1,111 @@
+package stack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/floorplan"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+// randomTiledLayer builds a block layer from a random slicing tree, so
+// the blocks are guaranteed to tile the die.
+func randomTiledLayer(t *testing.T, rng *rand.Rand, name string, w, h, thickness float64) thermal.BlockLayer {
+	t.Helper()
+	count := 0
+	var build func(depth int, frac float64) *floorplan.TreeNode
+	build = func(depth int, frac float64) *floorplan.TreeNode {
+		if depth == 0 || rng.Float64() < 0.4 {
+			count++
+			return floorplan.Leaf(fmt.Sprintf("%s-b%d", name, count), floorplan.UnitOther, frac)
+		}
+		n := 2 + rng.Intn(2)
+		shares := make([]float64, n)
+		sum := 0.0
+		for i := range shares {
+			shares[i] = 0.3 + rng.Float64()
+			sum += shares[i]
+		}
+		var children []*floorplan.TreeNode
+		for i := range shares {
+			children = append(children, build(depth-1, frac*shares[i]/sum))
+		}
+		if rng.Intn(2) == 0 {
+			return floorplan.VSplit(children...)
+		}
+		return floorplan.HSplit(children...)
+	}
+	tree := build(2, 1.0)
+	if tree.Cut == floorplan.CutNone {
+		// Force at least a two-block layer.
+		tree = floorplan.VSplit(
+			floorplan.Leaf(name+"-l", floorplan.UnitOther, 0.5),
+			floorplan.Leaf(name+"-r", floorplan.UnitOther, 0.5),
+		)
+	}
+	fp, err := floorplan.LayoutTree(name, tree, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := thermal.BlockLayer{Name: name, Thickness: thickness}
+	for _, b := range fp.Blocks {
+		layer.Blocks = append(layer.Blocks, thermal.BlockNode{
+			Name: b.Name, Rect: b.Rect,
+			Lambda: 5 + rng.Float64()*300,
+			VolCap: 1e6 + rng.Float64()*2e6,
+		})
+	}
+	return layer
+}
+
+// Property: any stack of randomly-tiled block layers with random powers
+// satisfies energy balance and keeps every node at or above ambient.
+func TestBlockModelPropertyRandomLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		const w, h = 8e-3, 8e-3
+		m := &thermal.BlockModel{
+			Width: w, Height: h,
+			TopH:    5000 + rng.Float64()*50000,
+			Ambient: 30 + rng.Float64()*20,
+		}
+		nLayers := 2 + rng.Intn(3)
+		for li := 0; li < nLayers; li++ {
+			m.Layers = append(m.Layers, randomTiledLayer(t, rng,
+				fmt.Sprintf("L%d", li), w, h, (20+rng.Float64()*300)*1e-6))
+		}
+		solver, err := thermal.NewBlockSolver(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		power := make([][]float64, nLayers)
+		total := 0.0
+		for li := range power {
+			power[li] = make([]float64, len(m.Layers[li].Blocks))
+			for bi := range power[li] {
+				if rng.Float64() < 0.4 {
+					wv := rng.Float64() * 5
+					power[li][bi] = wv
+					total += wv
+				}
+			}
+		}
+		temps, err := solver.SteadyState(power)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if out := temps.AmbientFlow(); math.Abs(out-total) > 1e-5*(total+1) {
+			t.Fatalf("trial %d: energy imbalance %.6g vs %.6g", trial, out, total)
+		}
+		for li := range m.Layers {
+			for bi := range m.Layers[li].Blocks {
+				if v := temps.Of(li, bi); v < m.Ambient-1e-6 {
+					t.Fatalf("trial %d: node %d/%d below ambient (%.4f < %.4f)",
+						trial, li, bi, v, m.Ambient)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package stack
+
+import (
+	"fmt"
+
+	"github.com/xylem-sim/xylem/internal/floorplan"
+	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/material"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+// Config describes a complete memory-on-top stack (Fig. 2b + Table 1 of
+// the paper): the processor die at the bottom, NumDRAMDies Wide I/O
+// slices above it (face-to-back), then TIM, integrated heat spreader and
+// the active heat sink.
+type Config struct {
+	// NumDRAMDies is the number of stacked memory slices (8 by default;
+	// the Fig. 19 sensitivity sweeps 4/8/12).
+	NumDRAMDies int
+	// DieThickness is the thinned silicon thickness of every die, metres
+	// (100 µm by default; Fig. 18 sweeps 50/100/200 µm).
+	DieThickness float64
+	// ProcMetalThickness, DRAMMetalThickness, D2DThickness, TIMThickness,
+	// IHSThickness, SinkThickness are the remaining layer thicknesses.
+	ProcMetalThickness float64
+	DRAMMetalThickness float64
+	D2DThickness       float64
+	TIMThickness       float64
+	IHSThickness       float64
+	SinkThickness      float64
+
+	// ProcOnTop selects the §3.1 "processor-on-top" organisation: the
+	// processor die sits directly under the heat sink and the DRAM dies
+	// below it. The paper rejects it for manufacturing reasons (the
+	// memory dies would have to provision TSVs for the processor's
+	// power/ground/IO pins) but credits its thermal advantage — this
+	// flag exists to quantify that trade-off (see the orgcompare
+	// experiment). Default false: the paper's memory-on-top stack.
+	ProcOnTop bool
+
+	// GridRows and GridCols set the in-plane discretisation.
+	GridRows, GridCols int
+
+	// TopH is the effective convective coefficient of the active heat
+	// sink, W/(m²K); BottomH the weak C4/package path. Ambient in °C.
+	TopH, BottomH float64
+	Ambient       float64
+
+	// TSVBusLambda is the composite conductivity of the electrical TSV
+	// bus region in the silicon layers (25% Cu + 75% Si = 190 W/mK).
+	TSVBusLambda float64
+	// D2DLambda is the average conductivity of the die-to-die layers
+	// (measured ≈1.5 W/mK per IBM [9,11] and Matsumoto [39]; the §2.5
+	// sensitivity study sweeps the optimistic values prior work assumed).
+	D2DLambda float64
+	// D2DBusLambda is the conductivity of the electrical-µbump field in
+	// the D2D layers (measured ≈1.5 W/mK, same as the dummy-filled
+	// average, per §6.1).
+	D2DBusLambda float64
+}
+
+// DefaultConfig returns the evaluation configuration of Table 1.
+func DefaultConfig() Config {
+	return Config{
+		NumDRAMDies:        8,
+		DieThickness:       100 * geom.Micron,
+		ProcMetalThickness: 12 * geom.Micron,
+		DRAMMetalThickness: 2 * geom.Micron,
+		D2DThickness:       20 * geom.Micron,
+		TIMThickness:       50 * geom.Micron,
+		IHSThickness:       1.0 * geom.Millimetre,
+		SinkThickness:      7.0 * geom.Millimetre,
+		GridRows:           32,
+		GridCols:           32,
+		TopH:               70000, // calibrated active-sink film coefficient
+		BottomH:            120,   // weak C4/board leakage path
+		Ambient:            43,
+		TSVBusLambda: material.Composite(
+			[]float64{0.25, 0.75},
+			[]material.Props{material.Copper, material.Silicon},
+		),
+		D2DLambda:    material.D2DUnderfill.Conductivity,
+		D2DBusLambda: material.D2DUnderfill.Conductivity,
+	}
+}
+
+// Stack is the assembled model plus the indices needed to inject power
+// and read temperatures back out.
+type Stack struct {
+	Cfg    Config
+	Scheme Scheme
+	Proc   *floorplan.Floorplan
+	DRAM   *floorplan.Floorplan
+	Geom   floorplan.SliceGeometry
+
+	Model *thermal.Model
+
+	// ProcMetalLayer is the layer index where processor power is
+	// injected (the metal/active layer of the processor die).
+	ProcMetalLayer int
+	// ProcSiliconLayer is the processor bulk-silicon layer index.
+	ProcSiliconLayer int
+	// DRAMMetalLayers are the power-injection layers of each DRAM die,
+	// bottom-most die first.
+	DRAMMetalLayers []int
+	// DRAMSiliconLayers are the silicon layers of each DRAM die.
+	DRAMSiliconLayers []int
+	// D2DLayers are the die-to-die layers, bottom-most first.
+	D2DLayers []int
+}
+
+// Build assembles a Stack for the given scheme over the default
+// floorplans.
+func Build(cfg Config, kind SchemeKind) (*Stack, error) {
+	proc, err := floorplan.BuildProcDie(floorplan.DefaultProcConfig())
+	if err != nil {
+		return nil, err
+	}
+	dram, sg, err := floorplan.BuildDRAMSlice(floorplan.DefaultDRAMConfig())
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := BuildScheme(kind, DefaultTTSVSpec(), sg, proc)
+	if err != nil {
+		return nil, err
+	}
+	return BuildWith(cfg, scheme, proc, dram, sg)
+}
+
+// BuildWith assembles a Stack from explicit floorplans and scheme. The
+// processor and DRAM dies must share the same footprint (the paper's
+// stack has matching ≈64 mm² dies; mismatched areas would need the "more
+// involved" analysis §6.2 mentions).
+func BuildWith(cfg Config, scheme Scheme, proc, dram *floorplan.Floorplan, sg floorplan.SliceGeometry) (*Stack, error) {
+	if cfg.NumDRAMDies < 1 {
+		return nil, fmt.Errorf("stack: need at least one DRAM die, got %d", cfg.NumDRAMDies)
+	}
+	if proc.Width != dram.Width || proc.Height != dram.Height {
+		return nil, fmt.Errorf("stack: processor die %gx%g mm and DRAM die %gx%g mm must match",
+			proc.Width/geom.Millimetre, proc.Height/geom.Millimetre,
+			dram.Width/geom.Millimetre, dram.Height/geom.Millimetre)
+	}
+	grid := geom.NewGrid(cfg.GridRows, cfg.GridCols, proc.Width, proc.Height)
+
+	st := &Stack{Cfg: cfg, Scheme: scheme, Proc: proc, DRAM: dram, Geom: sg}
+	m := &thermal.Model{
+		Grid:    grid,
+		TopH:    cfg.TopH,
+		BottomH: cfg.BottomH,
+		Ambient: cfg.Ambient,
+	}
+
+	siteRects := scheme.SiteRects()
+
+	// Bottom-up: processor metal, processor silicon, then per DRAM die
+	// (D2D below it, metal, silicon), then TIM, IHS, sink.
+	if cfg.ProcOnTop {
+		// §3.1 organisation, bottom→top: C4 side, DRAM dies (bottom-most
+		// die index NumDRAMDies-1 is farthest from the sink so that die
+		// index 0 remains "nearest the processor" in both organisations),
+		// a D2D layer above each die, then the processor with its
+		// frontside metal facing the memory stack and its bulk silicon
+		// under the TIM.
+		for d := cfg.NumDRAMDies - 1; d >= 0; d-- {
+			st.DRAMSiliconLayers = append([]int{len(m.Layers)}, st.DRAMSiliconLayers...)
+			m.Layers = append(m.Layers, st.siliconLayer(grid, fmt.Sprintf("dram%d-silicon", d), cfg, siteRects))
+
+			st.DRAMMetalLayers = append([]int{len(m.Layers)}, st.DRAMMetalLayers...)
+			m.Layers = append(m.Layers, uniformLayer(grid, fmt.Sprintf("dram%d-metal", d), cfg.DRAMMetalThickness, material.DRAMMetal))
+
+			st.D2DLayers = append([]int{len(m.Layers)}, st.D2DLayers...)
+			m.Layers = append(m.Layers, st.d2dLayer(grid, fmt.Sprintf("d2d%d", d), cfg, siteRects))
+		}
+		st.ProcMetalLayer = len(m.Layers)
+		m.Layers = append(m.Layers, uniformLayer(grid, "proc-metal", cfg.ProcMetalThickness, material.ProcMetal))
+		st.ProcSiliconLayer = len(m.Layers)
+		m.Layers = append(m.Layers, st.siliconLayer(grid, "proc-silicon", cfg, siteRects))
+	} else {
+		st.ProcMetalLayer = len(m.Layers)
+		m.Layers = append(m.Layers, uniformLayer(grid, "proc-metal", cfg.ProcMetalThickness, material.ProcMetal))
+
+		st.ProcSiliconLayer = len(m.Layers)
+		m.Layers = append(m.Layers, st.siliconLayer(grid, "proc-silicon", cfg, siteRects))
+
+		for d := 0; d < cfg.NumDRAMDies; d++ {
+			st.D2DLayers = append(st.D2DLayers, len(m.Layers))
+			m.Layers = append(m.Layers, st.d2dLayer(grid, fmt.Sprintf("d2d%d", d), cfg, siteRects))
+
+			st.DRAMMetalLayers = append(st.DRAMMetalLayers, len(m.Layers))
+			m.Layers = append(m.Layers, uniformLayer(grid, fmt.Sprintf("dram%d-metal", d), cfg.DRAMMetalThickness, material.DRAMMetal))
+
+			st.DRAMSiliconLayers = append(st.DRAMSiliconLayers, len(m.Layers))
+			m.Layers = append(m.Layers, st.siliconLayer(grid, fmt.Sprintf("dram%d-silicon", d), cfg, siteRects))
+		}
+	}
+
+	m.Layers = append(m.Layers,
+		uniformLayer(grid, "tim", cfg.TIMThickness, material.TIM),
+		uniformLayer(grid, "ihs", cfg.IHSThickness, material.Copper),
+		uniformLayer(grid, "sink", cfg.SinkThickness, material.Copper),
+	)
+
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	st.Model = m
+	return st, nil
+}
+
+// uniformLayer builds a homogeneous layer.
+func uniformLayer(grid geom.Grid, name string, thickness float64, mat material.Props) thermal.Layer {
+	n := grid.NumCells()
+	l := thermal.Layer{Name: name, Thickness: thickness}
+	l.Lambda = make([]float64, n)
+	l.VolCap = make([]float64, n)
+	for i := range l.Lambda {
+		l.Lambda[i] = mat.Conductivity
+		l.VolCap[i] = mat.VolHeatCapacity
+	}
+	return l
+}
+
+// siliconLayer builds a die bulk-silicon layer: base silicon, the TSV-bus
+// composite under the central bus block, and TTSV copper at the scheme's
+// sites. Per the paper, TTSVs and electrical TSVs exist in every die's
+// silicon (processor and DRAM alike).
+func (st *Stack) siliconLayer(grid geom.Grid, name string, cfg Config, sites []geom.Rect) thermal.Layer {
+	l := uniformLayer(grid, name, cfg.DieThickness, material.Silicon)
+	// The electrical TSV bus is at the same die-centre location on every
+	// die so the stack's buses align vertically.
+	if bus, ok := st.DRAM.Find("tsvbus"); ok {
+		blendRect(grid, &l, bus.Rect, cfg.TSVBusLambda, material.Copper.VolHeatCapacity*0.25+material.Silicon.VolHeatCapacity*0.75)
+	}
+	spec := st.Scheme.Spec
+	for _, r := range sites {
+		blendRect(grid, &l, r, spec.Lambda, material.Copper.VolHeatCapacity)
+	}
+	return l
+}
+
+// d2dLayer builds one die-to-die layer: the measured 1.5 W/mK average
+// everywhere (the 25%-dummy-µbump fill plus underfill, SiO2, SiN and
+// backside metal), the electrical-µbump field under the bus at the same
+// effective λ, and — only when the scheme aligns and shorts the dummy
+// µbumps with the TTSVs — high-conduction pillar cells at the TTSV sites
+// whose λ follows from the series Rth of µbump plus backside-metal short.
+func (st *Stack) d2dLayer(grid geom.Grid, name string, cfg Config, sites []geom.Rect) thermal.Layer {
+	mat := material.D2DUnderfill
+	if cfg.D2DLambda > 0 {
+		mat.Conductivity = cfg.D2DLambda
+	}
+	l := uniformLayer(grid, name, cfg.D2DThickness, mat)
+	if bus, ok := st.DRAM.Find("tsvbus"); ok {
+		blendRect(grid, &l, bus.Rect, cfg.D2DBusLambda, material.D2DUnderfill.VolHeatCapacity)
+	}
+	if st.Scheme.Shorted {
+		pillarLambda := material.EffectiveLambda(cfg.D2DThickness, st.Scheme.Spec.PillarRth())
+		for _, r := range sites {
+			blendRect(grid, &l, r, pillarLambda, material.MicroBump.VolHeatCapacity)
+		}
+	}
+	return l
+}
+
+// blendRect overwrites the layer's properties under rect, area-weighting
+// against the existing cell values for partially-covered cells (the
+// composite rule λ = Σ ρᵢλᵢ of §6.1).
+func blendRect(grid geom.Grid, l *thermal.Layer, rect geom.Rect, lambda, volCap float64) {
+	grid.OverlapFractions(rect, func(row, col int, frac float64) {
+		i := grid.Index(row, col)
+		l.Lambda[i] = l.Lambda[i]*(1-frac) + lambda*frac
+		l.VolCap[i] = l.VolCap[i]*(1-frac) + volCap*frac
+	})
+}
+
+// NumLayers returns the total layer count of the model.
+func (st *Stack) NumLayers() int { return len(st.Model.Layers) }
+
+// BottomDRAMSilicon returns the silicon layer index of the bottom-most
+// (hottest) memory die — the die Fig. 13 reports.
+func (st *Stack) BottomDRAMSilicon() int { return st.DRAMSiliconLayers[0] }

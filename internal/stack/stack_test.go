@@ -1,0 +1,299 @@
+package stack
+
+import (
+	"math"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/floorplan"
+	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+func buildScheme(t *testing.T, kind SchemeKind) (Scheme, *floorplan.Floorplan, floorplan.SliceGeometry) {
+	t.Helper()
+	proc, err := floorplan.BuildProcDie(floorplan.DefaultProcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sg, err := floorplan.BuildDRAMSlice(floorplan.DefaultDRAMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildScheme(kind, DefaultTTSVSpec(), sg, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, proc, sg
+}
+
+// Table 2: TTSV counts per scheme.
+func TestSchemeTTSVCounts(t *testing.T) {
+	want := map[SchemeKind]int{Base: 0, Bank: 28, BankE: 36, IsoCount: 28, Prior: 36}
+	for kind, n := range want {
+		s, _, _ := buildScheme(t, kind)
+		if s.TTSVCount() != n {
+			t.Errorf("%s: %d TTSVs, want %d", kind, s.TTSVCount(), n)
+		}
+	}
+}
+
+// Only base and prior leave the D2D layers unenhanced.
+func TestSchemeShorting(t *testing.T) {
+	for _, kind := range AllSchemes {
+		s, _, _ := buildScheme(t, kind)
+		wantShorted := kind == Bank || kind == BankE || kind == IsoCount
+		if s.Shorted != wantShorted {
+			t.Errorf("%s: Shorted=%v, want %v", kind, s.Shorted, wantShorted)
+		}
+	}
+}
+
+// §7.1: TTSV+KOZ area is 0.0144 mm²; bank costs 0.4032 mm² ≈ 0.63% and
+// banke 0.5184 mm² ≈ 0.81% of the ~64 mm² die.
+func TestAreaOverheads(t *testing.T) {
+	spec := DefaultTTSVSpec()
+	if got := spec.AreaWithKOZ() / 1e-6; math.Abs(got-0.0144) > 1e-9 {
+		t.Fatalf("TTSV+KOZ area = %.6f mm², want 0.0144", got)
+	}
+	bank, _, _ := buildScheme(t, Bank)
+	banke, _, _ := buildScheme(t, BankE)
+	dieArea := 64e-6 // m²
+	if got := bank.AreaOverhead(dieArea) * 100; math.Abs(got-0.63) > 0.01 {
+		t.Errorf("bank overhead = %.3f%%, want 0.63%%", got)
+	}
+	if got := banke.AreaOverhead(dieArea) * 100; math.Abs(got-0.81) > 0.01 {
+		t.Errorf("banke overhead = %.3f%%, want 0.81%%", got)
+	}
+}
+
+// §4.1.2: the shorted pillar's Rth is 0.46 mm²K/W.
+func TestPillarRth(t *testing.T) {
+	spec := DefaultTTSVSpec()
+	if got := spec.PillarRth() * 1e6; math.Abs(got-0.455) > 0.005 {
+		t.Fatalf("pillar Rth = %.4f mm²K/W, want ≈0.46", got)
+	}
+}
+
+// All TTSV sites must fall inside the die and inside peripheral logic
+// (never inside a bank or the TSV bus), and must not collide pairwise.
+func TestSitesInPeripheralLogic(t *testing.T) {
+	_, sg, err := func() (*floorplan.Floorplan, floorplan.SliceGeometry, error) {
+		return floorplan.BuildDRAMSlice(floorplan.DefaultDRAMConfig())
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, _, _ := floorplan.BuildDRAMSlice(floorplan.DefaultDRAMConfig())
+	_ = sg
+	for _, kind := range []SchemeKind{Bank, BankE, IsoCount, Prior} {
+		s, _, _ := buildScheme(t, kind)
+		rects := s.SiteRects()
+		for i, r := range rects {
+			if r.Min.X < 0 || r.Min.Y < 0 || r.Max.X > dram.Width || r.Max.Y > dram.Height {
+				t.Fatalf("%s site %d outside the die: %v", kind, i, r)
+			}
+			for _, b := range dram.Blocks {
+				if b.Kind == floorplan.UnitDRAMBank || b.Kind == floorplan.UnitTSVBus {
+					if ov := r.Intersect(b.Rect); !ov.Empty() && ov.Area() > 1e-15 {
+						t.Fatalf("%s site %d overlaps %s (%s)", kind, i, b.Name, b.Kind)
+					}
+				}
+			}
+			for j := i + 1; j < len(rects); j++ {
+				koz := s.Spec.KOZ
+				if r.Expand(koz).Overlaps(rects[j].Expand(koz)) {
+					t.Fatalf("%s sites %d and %d collide (KOZ included)", kind, i, j)
+				}
+			}
+		}
+	}
+}
+
+// isoCount must be banke minus exactly the 8 centre-strip sites.
+func TestIsoCountIsBankEMinusCentre(t *testing.T) {
+	banke, _, sg := buildScheme(t, BankE)
+	iso, _, _ := buildScheme(t, IsoCount)
+	strip := sg.CentreStripRect()
+	inStrip := 0
+	for _, p := range banke.Sites {
+		if strip.Contains(p) {
+			inStrip++
+		}
+	}
+	if inStrip != 8 {
+		t.Fatalf("banke has %d centre-strip sites, want 8", inStrip)
+	}
+	if banke.TTSVCount()-iso.TTSVCount() != inStrip {
+		t.Fatalf("isoCount (%d) != banke (%d) - centre sites (%d)",
+			iso.TTSVCount(), banke.TTSVCount(), inStrip)
+	}
+	for _, p := range iso.Sites {
+		if strip.Contains(p) {
+			t.Fatalf("isoCount site %v inside the centre strip", p)
+		}
+	}
+}
+
+// prior and banke share identical TTSV sites; they differ only in the
+// dummy-µbump alignment/shorting.
+func TestPriorMatchesBankESites(t *testing.T) {
+	banke, _, _ := buildScheme(t, BankE)
+	prior, _, _ := buildScheme(t, Prior)
+	if len(banke.Sites) != len(prior.Sites) {
+		t.Fatalf("site count differs: %d vs %d", len(banke.Sites), len(prior.Sites))
+	}
+	for i := range banke.Sites {
+		if banke.Sites[i] != prior.Sites[i] {
+			t.Fatalf("site %d differs: %v vs %v", i, banke.Sites[i], prior.Sites[i])
+		}
+	}
+	if prior.Shorted {
+		t.Fatal("prior must not short")
+	}
+}
+
+func TestBuildStackLayerStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GridRows, cfg.GridCols = 16, 16
+	st, err := Build(cfg, BankE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 proc layers + 3 per DRAM die + TIM + IHS + sink.
+	want := 2 + 3*cfg.NumDRAMDies + 3
+	if st.NumLayers() != want {
+		t.Fatalf("%d layers, want %d", st.NumLayers(), want)
+	}
+	if len(st.D2DLayers) != cfg.NumDRAMDies {
+		t.Fatalf("%d D2D layers, want %d (one per DRAM die, §8: '8 D2D layers in series')",
+			len(st.D2DLayers), cfg.NumDRAMDies)
+	}
+	if st.ProcMetalLayer != 0 || st.ProcSiliconLayer != 1 {
+		t.Fatalf("proc layers at %d/%d, want 0/1 (proc at stack bottom)",
+			st.ProcMetalLayer, st.ProcSiliconLayer)
+	}
+	if err := st.Model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The D2D layers of a shorted scheme must contain high-λ cells at the
+// TTSV sites; prior must not.
+func TestD2DEnhancementOnlyWhenShorted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GridRows, cfg.GridCols = 32, 32
+	maxD2D := func(kind SchemeKind) float64 {
+		st, err := Build(cfg, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := 0.0
+		l := st.Model.Layers[st.D2DLayers[0]]
+		for _, v := range l.Lambda {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	base := maxD2D(Base)
+	prior := maxD2D(Prior)
+	banke := maxD2D(BankE)
+	if math.Abs(base-1.5) > 1e-9 {
+		t.Fatalf("base D2D max λ = %g, want 1.5", base)
+	}
+	if math.Abs(prior-1.5) > 1e-9 {
+		t.Fatalf("prior D2D max λ = %g, want 1.5 (no shorting)", prior)
+	}
+	if banke < 3 {
+		t.Fatalf("banke D2D max λ = %g; expected enhanced cells", banke)
+	}
+}
+
+// Silicon layers get TTSV copper for every scheme with TTSVs, including
+// prior (prior places TTSVs, it just doesn't short them): the grid cell
+// under every TTSV site must have a strictly higher λ than the same cell
+// in the base scheme.
+func TestSiliconTTSVsPresent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GridRows, cfg.GridCols = 32, 32
+	baseStack, err := Build(cfg, Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseLam := baseStack.Model.Layers[baseStack.ProcSiliconLayer].Lambda
+	for _, kind := range []SchemeKind{Bank, BankE, IsoCount, Prior} {
+		st, err := Build(cfg, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lam := st.Model.Layers[st.ProcSiliconLayer].Lambda
+		for i, p := range st.Scheme.Sites {
+			row, col := st.Model.Grid.CellAt(p)
+			c := st.Model.Grid.Index(row, col)
+			if lam[c] <= baseLam[c] {
+				t.Errorf("%s: site %d cell λ=%g not enhanced over base λ=%g", kind, i, lam[c], baseLam[c])
+			}
+		}
+	}
+}
+
+// The whole point of the paper, end to end: under identical power, the
+// processor hotspot must satisfy base ≈ prior > bank > banke.
+func TestSchemeOrderingOnHotspot(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GridRows, cfg.GridCols = 24, 24
+	hot := func(kind SchemeKind) float64 {
+		st, err := Build(cfg, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solver, err := thermal.NewSolver(st.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := st.Model.NewPowerMap()
+		// 16 W spread over the cores, 2 W over the LLC region, 2.5 W in
+		// the bottom DRAM metal — a crude but representative pattern.
+		for c := 0; c < 8; c++ {
+			p.AddBlock(st.Model.Grid, st.ProcMetalLayer, st.Proc.CoreRect(c), 2)
+		}
+		p.AddBlock(st.Model.Grid, st.ProcMetalLayer, geom.NewRect(0, 2.5e-3, 8e-3, 3e-3), 2)
+		p.AddBlock(st.Model.Grid, st.DRAMMetalLayers[0], geom.NewRect(0, 0, 8e-3, 8e-3), 2.5)
+		temps, err := solver.SteadyState(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := temps.Max(st.ProcSiliconLayer)
+		return v
+	}
+	base, bank, banke, prior := hot(Base), hot(Bank), hot(BankE), hot(Prior)
+	if !(banke < bank && bank < base) {
+		t.Fatalf("ordering violated: base=%.2f bank=%.2f banke=%.2f", base, bank, banke)
+	}
+	if math.Abs(prior-base) > 1.0 {
+		t.Fatalf("prior (%.2f) should be within 1 °C of base (%.2f): TTSVs alone are ineffective", prior, base)
+	}
+	if base-bank < 1.5 {
+		t.Fatalf("bank reduces hotspot by only %.2f °C; expected several °C", base-bank)
+	}
+	if base-banke <= base-bank {
+		t.Fatalf("banke (%.2f °C reduction) must beat bank (%.2f °C)", base-banke, base-bank)
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumDRAMDies = 0
+	if _, err := Build(cfg, Base); err == nil {
+		t.Fatal("zero DRAM dies accepted")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	for _, k := range AllSchemes {
+		if k.String() == "" {
+			t.Fatalf("scheme %d has no name", k)
+		}
+	}
+}

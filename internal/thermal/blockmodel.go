@@ -1,0 +1,209 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+)
+
+// HotSpot-style block mode: instead of discretising each layer into a
+// uniform grid, each layer is a set of floorplan-shaped nodes. Block mode
+// is much cheaper but smears intra-block gradients — the reason the paper
+// (and this reproduction) uses grid mode for results. The block model
+// exists to quantify that accuracy gap (see the cross-validation tests
+// and BenchmarkAblationBlockVsGrid).
+
+// BlockNode is one rectangular node of a block-mode layer.
+type BlockNode struct {
+	Name string
+	Rect geom.Rect
+	// Lambda is the node's (composite) conductivity, W/(m·K).
+	Lambda float64
+	// VolCap is the volumetric heat capacity, J/(m³·K).
+	VolCap float64
+}
+
+// BlockLayer is one layer of the block-mode stack. Its blocks must tile
+// the die footprint.
+type BlockLayer struct {
+	Name      string
+	Thickness float64
+	Blocks    []BlockNode
+}
+
+// BlockModel is a block-mode stack description.
+type BlockModel struct {
+	// Width and Height of the die footprint, metres.
+	Width, Height float64
+	Layers        []BlockLayer
+	TopH, BottomH float64
+	Ambient       float64
+}
+
+// BlockSolver wraps the assembled network with the (layer, block) →
+// node-index mapping.
+type BlockSolver struct {
+	m   *BlockModel
+	net *Network
+	// idx[layer][block] is the network node index.
+	idx [][]int
+}
+
+// NewBlockSolver assembles the conductance network: lateral edges between
+// blocks that share a boundary segment within a layer, vertical edges
+// between overlapping blocks of adjacent layers, and convective edges at
+// the top (and optionally bottom) layers.
+func NewBlockSolver(m *BlockModel) (*BlockSolver, error) {
+	if len(m.Layers) == 0 {
+		return nil, fmt.Errorf("thermal: block model has no layers")
+	}
+	if m.TopH <= 0 {
+		return nil, fmt.Errorf("thermal: block model needs a positive top convection coefficient")
+	}
+	net := NewNetwork(m.Ambient)
+	s := &BlockSolver{m: m, net: net}
+
+	dieArea := m.Width * m.Height
+	for _, layer := range m.Layers {
+		if layer.Thickness <= 0 {
+			return nil, fmt.Errorf("thermal: layer %s thickness %g", layer.Name, layer.Thickness)
+		}
+		ids := make([]int, len(layer.Blocks))
+		total := 0.0
+		for bi, b := range layer.Blocks {
+			if b.Lambda <= 0 || b.VolCap <= 0 {
+				return nil, fmt.Errorf("thermal: block %s/%s has non-positive properties", layer.Name, b.Name)
+			}
+			total += b.Rect.Area()
+			ids[bi] = net.AddNode(
+				fmt.Sprintf("%s/%s", layer.Name, b.Name),
+				b.VolCap*b.Rect.Area()*layer.Thickness,
+			)
+		}
+		if math.Abs(total-dieArea) > 1e-6*dieArea {
+			return nil, fmt.Errorf("thermal: layer %s blocks cover %.4g of %.4g m²", layer.Name, total, dieArea)
+		}
+		s.idx = append(s.idx, ids)
+	}
+
+	// Lateral edges within each layer.
+	for li, layer := range m.Layers {
+		for i := 0; i < len(layer.Blocks); i++ {
+			for j := i + 1; j < len(layer.Blocks); j++ {
+				g := lateralConductance(layer.Blocks[i], layer.Blocks[j], layer.Thickness)
+				if g > 0 {
+					if err := s.net.Connect(s.idx[li][i], s.idx[li][j], g); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Vertical edges between adjacent layers (overlap-area weighted).
+	for li := 0; li+1 < len(m.Layers); li++ {
+		lo, hi := m.Layers[li], m.Layers[li+1]
+		for i, a := range lo.Blocks {
+			for j, b := range hi.Blocks {
+				ov := a.Rect.Intersect(b.Rect)
+				if ov.Empty() {
+					continue
+				}
+				r := lo.Thickness/(2*a.Lambda*ov.Area()) + hi.Thickness/(2*b.Lambda*ov.Area())
+				if err := s.net.Connect(s.idx[li][i], s.idx[li+1][j], 1/r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Boundaries.
+	top := len(m.Layers) - 1
+	for j, b := range m.Layers[top].Blocks {
+		r := m.Layers[top].Thickness/(2*b.Lambda*b.Rect.Area()) + 1/(m.TopH*b.Rect.Area())
+		if err := s.net.ConnectAmbient(s.idx[top][j], 1/r); err != nil {
+			return nil, err
+		}
+	}
+	if m.BottomH > 0 {
+		for j, b := range m.Layers[0].Blocks {
+			r := m.Layers[0].Thickness/(2*b.Lambda*b.Rect.Area()) + 1/(m.BottomH*b.Rect.Area())
+			if err := s.net.ConnectAmbient(s.idx[0][j], 1/r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// lateralConductance returns the conductance of the shared boundary
+// between two blocks in one layer (0 if they do not abut).
+func lateralConductance(a, b BlockNode, t float64) float64 {
+	const eps = 1e-12
+	// Vertical shared edge (a's right == b's left or vice versa).
+	sharedY := math.Min(a.Rect.Max.Y, b.Rect.Max.Y) - math.Max(a.Rect.Min.Y, b.Rect.Min.Y)
+	sharedX := math.Min(a.Rect.Max.X, b.Rect.Max.X) - math.Max(a.Rect.Min.X, b.Rect.Min.X)
+	if math.Abs(a.Rect.Max.X-b.Rect.Min.X) < eps || math.Abs(b.Rect.Max.X-a.Rect.Min.X) < eps {
+		if sharedY <= eps {
+			return 0
+		}
+		// Heat flows in x: centroid-to-boundary distances are W/2.
+		r := a.Rect.W()/(2*a.Lambda*t*sharedY) + b.Rect.W()/(2*b.Lambda*t*sharedY)
+		return 1 / r
+	}
+	if math.Abs(a.Rect.Max.Y-b.Rect.Min.Y) < eps || math.Abs(b.Rect.Max.Y-a.Rect.Min.Y) < eps {
+		if sharedX <= eps {
+			return 0
+		}
+		r := a.Rect.H()/(2*a.Lambda*t*sharedX) + b.Rect.H()/(2*b.Lambda*t*sharedX)
+		return 1 / r
+	}
+	return 0
+}
+
+// SteadyState solves the block network. power is indexed [layer][block],
+// watts; missing layers/blocks default to zero.
+func (s *BlockSolver) SteadyState(power [][]float64) (BlockTemps, error) {
+	flat := make([]float64, s.net.NumNodes())
+	for li := range power {
+		if li >= len(s.idx) {
+			return BlockTemps{}, fmt.Errorf("thermal: power for layer %d of %d", li, len(s.idx))
+		}
+		for bi, w := range power[li] {
+			if bi >= len(s.idx[li]) {
+				return BlockTemps{}, fmt.Errorf("thermal: power for block %d of layer %d", bi, li)
+			}
+			flat[s.idx[li][bi]] += w
+		}
+	}
+	x, err := s.net.SteadyState(flat)
+	if err != nil {
+		return BlockTemps{}, err
+	}
+	out := BlockTemps{s: s, temps: x}
+	return out, nil
+}
+
+// BlockTemps is a solved block-mode field.
+type BlockTemps struct {
+	s     *BlockSolver
+	temps []float64
+}
+
+// Of returns the temperature of block bi of layer li.
+func (bt BlockTemps) Of(li, bi int) float64 { return bt.temps[bt.s.idx[li][bi]] }
+
+// MaxInLayer returns the hottest block of layer li and its index.
+func (bt BlockTemps) MaxInLayer(li int) (float64, int) {
+	best, at := math.Inf(-1), -1
+	for bi := range bt.s.idx[li] {
+		if v := bt.Of(li, bi); v > best {
+			best, at = v, bi
+		}
+	}
+	return best, at
+}
+
+// AmbientFlow reports the total heat leaving to ambient (energy balance).
+func (bt BlockTemps) AmbientFlow() float64 { return bt.s.net.AmbientFlow(bt.temps) }

@@ -1,0 +1,155 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+)
+
+// uniformBlockModel builds a simple block-mode slab: each layer is one
+// full-die block.
+func uniformBlockModel(nLayers int, thickness, lambda, topH float64) *BlockModel {
+	die := geom.NewRect(0, 0, 8e-3, 8e-3)
+	m := &BlockModel{Width: 8e-3, Height: 8e-3, TopH: topH, Ambient: 45}
+	for i := 0; i < nLayers; i++ {
+		m.Layers = append(m.Layers, BlockLayer{
+			Name: "slab", Thickness: thickness,
+			Blocks: []BlockNode{{Name: "b", Rect: die, Lambda: lambda, VolCap: 1.75e6}},
+		})
+	}
+	return m
+}
+
+// With single full-die blocks the block model is exactly the 1-D series
+// network, so it must match the same analytic solution the grid solver
+// matches.
+func TestBlockModeMatchesAnalytic1D(t *testing.T) {
+	const (
+		nLayers = 6
+		thick   = 100e-6
+		lambda  = 120.0
+		topH    = 30000.0
+		power   = 20.0
+	)
+	m := uniformBlockModel(nLayers, thick, lambda, topH)
+	s, err := NewBlockSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps, err := s.SteadyState([][]float64{{power}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := m.Width * m.Height
+	rCond := (float64(nLayers-1)*thick + thick/2) / (lambda * area)
+	rConv := 1 / (topH * area)
+	want := m.Ambient + power*(rCond+rConv)
+	if got := temps.Of(0, 0); math.Abs(got-want) > 0.01 {
+		t.Fatalf("bottom block %.4f °C, analytic %.4f °C", got, want)
+	}
+	if out := temps.AmbientFlow(); math.Abs(out-power) > 1e-6*power {
+		t.Fatalf("energy imbalance: %.6f vs %.6f", out, power)
+	}
+}
+
+// A split layer (two half-die blocks) with a hotspot on one side must be
+// hotter on that side and conserve energy.
+func TestBlockModeLateralConduction(t *testing.T) {
+	die := geom.NewRect(0, 0, 8e-3, 8e-3)
+	left := geom.NewRect(0, 0, 4e-3, 8e-3)
+	right := geom.NewRect(4e-3, 0, 4e-3, 8e-3)
+	m := &BlockModel{Width: 8e-3, Height: 8e-3, TopH: 25000, Ambient: 45}
+	m.Layers = append(m.Layers,
+		BlockLayer{Name: "active", Thickness: 100e-6, Blocks: []BlockNode{
+			{Name: "L", Rect: left, Lambda: 120, VolCap: 1.75e6},
+			{Name: "R", Rect: right, Lambda: 120, VolCap: 1.75e6},
+		}},
+		BlockLayer{Name: "cap", Thickness: 1e-3, Blocks: []BlockNode{
+			{Name: "cap", Rect: die, Lambda: 400, VolCap: 3.55e6},
+		}},
+	)
+	s, err := NewBlockSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps, err := s.SteadyState([][]float64{{10, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temps.Of(0, 0) <= temps.Of(0, 1) {
+		t.Fatalf("heated block (%.2f) not hotter than its neighbour (%.2f)",
+			temps.Of(0, 0), temps.Of(0, 1))
+	}
+	// The neighbour must still be above ambient: lateral conduction works.
+	if temps.Of(0, 1) <= m.Ambient+0.5 {
+		t.Fatalf("no lateral conduction: neighbour at %.2f °C", temps.Of(0, 1))
+	}
+	if out := temps.AmbientFlow(); math.Abs(out-10) > 1e-5*10 {
+		t.Fatalf("energy imbalance: %.6f W", out)
+	}
+}
+
+func TestBlockModeValidation(t *testing.T) {
+	if _, err := NewBlockSolver(&BlockModel{Width: 1, Height: 1, TopH: 100}); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	m := uniformBlockModel(2, 1e-4, 120, 0)
+	if _, err := NewBlockSolver(m); err == nil {
+		t.Fatal("zero TopH accepted")
+	}
+	// Coverage gap.
+	m2 := uniformBlockModel(1, 1e-4, 120, 1000)
+	m2.Layers[0].Blocks[0].Rect = geom.NewRect(0, 0, 4e-3, 8e-3)
+	if _, err := NewBlockSolver(m2); err == nil {
+		t.Fatal("coverage gap accepted")
+	}
+	// Bad properties.
+	m3 := uniformBlockModel(1, 1e-4, 120, 1000)
+	m3.Layers[0].Blocks[0].Lambda = -1
+	if _, err := NewBlockSolver(m3); err == nil {
+		t.Fatal("negative λ accepted")
+	}
+	// Power shape errors.
+	m4 := uniformBlockModel(2, 1e-4, 120, 1000)
+	s, err := NewBlockSolver(m4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SteadyState([][]float64{{1}, {1}, {1}}); err == nil {
+		t.Fatal("extra layer power accepted")
+	}
+	if _, err := s.SteadyState([][]float64{{1, 2}}); err == nil {
+		t.Fatal("extra block power accepted")
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	n := NewNetwork(45)
+	a := n.AddNode("a", 1)
+	b := n.AddNode("b", 1)
+	if err := n.Connect(a, a, 1); err == nil {
+		t.Fatal("self edge accepted")
+	}
+	if err := n.Connect(a, b, -1); err == nil {
+		t.Fatal("negative conductance accepted")
+	}
+	if err := n.Connect(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	// No ambient path: singular.
+	if _, err := n.SteadyState([]float64{1, 0}); err == nil {
+		t.Fatal("floating network accepted")
+	}
+	if err := n.ConnectAmbient(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	x, err := n.SteadyState([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic: T_b = amb + 1/2, T_a = T_b + 1/1.
+	if math.Abs(x[1]-45.5) > 1e-6 || math.Abs(x[0]-46.5) > 1e-6 {
+		t.Fatalf("temps %v, want [46.5 45.5]", x)
+	}
+}

@@ -1,0 +1,207 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network is a general thermal RC network: nodes with heat capacities,
+// symmetric conductance edges, and per-node conductances to ambient. The
+// grid solver specialises this structure implicitly for speed; the block
+// model (and any irregular geometry) uses Network directly.
+type Network struct {
+	// Ambient temperature, °C.
+	Ambient float64
+
+	names []string
+	// capJ holds per-node heat capacity, J/K.
+	capJ []float64
+	// gAmb holds per-node conductance to ambient, W/K.
+	gAmb []float64
+	// adjacency: for each node, the list of (neighbour, conductance).
+	adj [][]netEdge
+	// diag caches the row sums.
+	diag  []float64
+	built bool
+}
+
+type netEdge struct {
+	to int
+	g  float64
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(ambient float64) *Network {
+	return &Network{Ambient: ambient}
+}
+
+// AddNode appends a node and returns its index.
+func (n *Network) AddNode(name string, capacityJPerK float64) int {
+	n.names = append(n.names, name)
+	n.capJ = append(n.capJ, capacityJPerK)
+	n.gAmb = append(n.gAmb, 0)
+	n.adj = append(n.adj, nil)
+	n.built = false
+	return len(n.names) - 1
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.names) }
+
+// Name returns a node's name.
+func (n *Network) Name(i int) string { return n.names[i] }
+
+// Connect adds a symmetric conductance (W/K) between two nodes.
+// Connecting a pair twice accumulates.
+func (n *Network) Connect(a, b int, g float64) error {
+	if a < 0 || a >= len(n.names) || b < 0 || b >= len(n.names) || a == b {
+		return fmt.Errorf("thermal: bad edge %d-%d", a, b)
+	}
+	if g <= 0 || math.IsNaN(g) {
+		return fmt.Errorf("thermal: non-positive conductance %g on edge %s-%s", g, n.names[a], n.names[b])
+	}
+	n.adj[a] = append(n.adj[a], netEdge{to: b, g: g})
+	n.adj[b] = append(n.adj[b], netEdge{to: a, g: g})
+	n.built = false
+	return nil
+}
+
+// ConnectAmbient adds a conductance from a node to ambient.
+func (n *Network) ConnectAmbient(a int, g float64) error {
+	if a < 0 || a >= len(n.names) {
+		return fmt.Errorf("thermal: bad node %d", a)
+	}
+	if g <= 0 || math.IsNaN(g) {
+		return fmt.Errorf("thermal: non-positive ambient conductance %g on %s", g, n.names[a])
+	}
+	n.gAmb[a] += g
+	n.built = false
+	return nil
+}
+
+func (n *Network) build() error {
+	n.diag = make([]float64, len(n.names))
+	anyAmb := false
+	for i := range n.names {
+		d := n.gAmb[i]
+		if n.gAmb[i] > 0 {
+			anyAmb = true
+		}
+		for _, e := range n.adj[i] {
+			d += e.g
+		}
+		if d <= 0 {
+			return fmt.Errorf("thermal: node %s is isolated", n.names[i])
+		}
+		n.diag[i] = d
+	}
+	if !anyAmb {
+		return fmt.Errorf("thermal: network has no path to ambient (singular system)")
+	}
+	n.built = true
+	return nil
+}
+
+// apply computes y = (G + shift·C)·x.
+func (n *Network) apply(x, y []float64, shift float64) {
+	for i := range x {
+		acc := (n.diag[i] + shift*n.capJ[i]) * x[i]
+		for _, e := range n.adj[i] {
+			acc -= e.g * x[e.to]
+		}
+		y[i] = acc
+	}
+}
+
+// SteadyState solves for node temperatures under the given per-node power
+// (W). Nodes absent from the slice (shorter slices are padded) get zero.
+func (n *Network) SteadyState(power []float64) ([]float64, error) {
+	if !n.built {
+		if err := n.build(); err != nil {
+			return nil, err
+		}
+	}
+	nn := len(n.names)
+	if len(power) > nn {
+		return nil, fmt.Errorf("thermal: %d powers for %d nodes", len(power), nn)
+	}
+	b := make([]float64, nn)
+	copy(b, power)
+	for i, g := range n.gAmb {
+		b[i] += g * n.Ambient
+	}
+	x := make([]float64, nn)
+	for i := range x {
+		x[i] = n.Ambient
+	}
+	if err := n.cg(b, x, 0); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// cg is Jacobi-preconditioned conjugate gradients on the network matrix.
+func (n *Network) cg(b, x []float64, shift float64) error {
+	nn := len(x)
+	r := make([]float64, nn)
+	z := make([]float64, nn)
+	p := make([]float64, nn)
+	ap := make([]float64, nn)
+	n.apply(x, ap, shift)
+	bnorm := 0.0
+	for i := range b {
+		r[i] = b[i] - ap[i]
+		bnorm += b[i] * b[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return nil
+	}
+	pre := func() {
+		for i := range r {
+			z[i] = r[i] / (n.diag[i] + shift*n.capJ[i])
+		}
+	}
+	pre()
+	copy(p, z)
+	rz := dot(r, z)
+	const tol = 1e-10
+	for iter := 0; iter < 50000; iter++ {
+		n.apply(p, ap, shift)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return fmt.Errorf("thermal: network CG breakdown")
+		}
+		alpha := rz / pap
+		rnorm := 0.0
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+			rnorm += r[i] * r[i]
+		}
+		if math.Sqrt(rnorm) <= tol*bnorm {
+			return nil
+		}
+		pre()
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return fmt.Errorf("thermal: network CG did not converge")
+}
+
+// AmbientFlow returns total heat leaving the network to ambient for a
+// temperature vector.
+func (n *Network) AmbientFlow(x []float64) float64 {
+	q := 0.0
+	for i, g := range n.gAmb {
+		q += g * (x[i] - n.Ambient)
+	}
+	return q
+}

@@ -1,0 +1,191 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+)
+
+// randomModel builds a small stack with randomised (but physical) layer
+// properties from the PRNG.
+func randomModel(rng *rand.Rand) *Model {
+	g := geom.NewGrid(5+rng.Intn(4), 5+rng.Intn(4), 8e-3, 8e-3)
+	m := &Model{
+		Grid:    g,
+		TopH:    5000 + rng.Float64()*60000,
+		BottomH: rng.Float64() * 300,
+		Ambient: 20 + rng.Float64()*40,
+	}
+	layers := 2 + rng.Intn(4)
+	for i := 0; i < layers; i++ {
+		l := Layer{Name: "rnd", Thickness: (5 + rng.Float64()*200) * 1e-6}
+		l.Lambda = make([]float64, g.NumCells())
+		l.VolCap = make([]float64, g.NumCells())
+		for c := range l.Lambda {
+			l.Lambda[c] = 1 + rng.Float64()*400
+			l.VolCap[c] = 1e6 + rng.Float64()*3e6
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m
+}
+
+func randomPower(rng *rand.Rand, m *Model) PowerMap {
+	p := m.NewPowerMap()
+	n := 1 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		li := rng.Intn(len(m.Layers))
+		c := rng.Intn(m.Grid.NumCells())
+		p[li][c] += rng.Float64() * 10
+	}
+	return p
+}
+
+// Property: for any physical stack and power map, (1) every steady-state
+// temperature is at or above ambient, (2) energy balances, and (3) the
+// hottest cell is never below the mean (trivially) nor absurdly high.
+func TestPropertySteadyStatePhysical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		m := randomModel(rng)
+		s, err := NewSolver(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := randomPower(rng, m)
+		temps, err := s.SteadyState(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for li := range temps {
+			for c, v := range temps[li] {
+				if v < m.Ambient-1e-6 {
+					t.Fatalf("trial %d: cell %d/%d below ambient: %.4f < %.4f", trial, li, c, v, m.Ambient)
+				}
+				if v > m.Ambient+5000 {
+					t.Fatalf("trial %d: unphysical temperature %.1f", trial, v)
+				}
+			}
+		}
+		out := s.AmbientHeatFlow(temps)
+		if math.Abs(out-p.Total()) > 1e-5*(p.Total()+1) {
+			t.Fatalf("trial %d: energy imbalance %.6g vs %.6g", trial, out, p.Total())
+		}
+	}
+}
+
+// Property: scaling the power map scales the temperature *rise* linearly.
+func TestPropertyLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		m := randomModel(rng)
+		s, err := NewSolver(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := randomPower(rng, m)
+		t1, err := s.SteadyState(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + rng.Float64()*4
+		p2 := m.NewPowerMap()
+		for li := range p {
+			for c := range p[li] {
+				p2[li][c] = k * p[li][c]
+			}
+		}
+		t2, err := s.SteadyState(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for li := range t1 {
+			for c := range t1[li] {
+				rise1 := t1[li][c] - m.Ambient
+				rise2 := t2[li][c] - m.Ambient
+				if math.Abs(rise2-k*rise1) > 1e-5*(1+rise2) {
+					t.Fatalf("trial %d: nonlinearity at %d/%d: %.6g vs %.6g", trial, li, c, rise2, k*rise1)
+				}
+			}
+		}
+	}
+}
+
+// Property: raising any cell's conductivity never raises the peak
+// temperature (monotonicity of conduction) — checked on a fixed stack
+// with a random enhanced cell.
+func TestPropertyMoreConductionNeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := slabModel(8, 8, 4, 100e-6, 2, 20000)
+	s, err := NewSolver(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := base.NewPowerMap()
+	p[0][base.Grid.Index(4, 4)] = 5
+	ref, err := s.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHot, _ := ref.Max(0)
+
+	for trial := 0; trial < 12; trial++ {
+		m := slabModel(8, 8, 4, 100e-6, 2, 20000)
+		li := rng.Intn(4)
+		c := rng.Intn(m.Grid.NumCells())
+		m.Layers[li].Lambda[c] = 400
+		s2, err := NewSolver(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		temps, err := s2.SteadyState(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot, _ := temps.Max(0)
+		if hot > refHot+1e-6 {
+			t.Fatalf("trial %d: enhancing cell %d/%d raised the hotspot %.4f -> %.4f",
+				trial, li, c, refHot, hot)
+		}
+	}
+}
+
+// Property (quick.Check): MeanOver of a region lies between the region's
+// min and max cell temperatures.
+func TestPropertyMeanBounded(t *testing.T) {
+	m := slabModel(10, 10, 3, 100e-6, 120, 20000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPowerMap()
+	p[0][m.Grid.Index(3, 6)] = 7
+	temps, err := s.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x0, y0, w, h uint8) bool {
+		rect := geom.NewRect(
+			float64(x0%80)*1e-4, float64(y0%80)*1e-4,
+			float64(w%40+1)*1e-4, float64(h%40+1)*1e-4,
+		)
+		mean := temps.MeanOver(m.Grid, 0, rect)
+		if math.IsNaN(mean) {
+			return true // degenerate/outside region
+		}
+		max := temps.MaxOver(m.Grid, 0, rect)
+		lo := math.Inf(1)
+		m.Grid.OverlapFractions(rect, func(row, col int, _ float64) {
+			if v := temps[0][m.Grid.Index(row, col)]; v < lo {
+				lo = v
+			}
+		})
+		return mean >= lo-1e-9 && mean <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(19))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,324 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solver assembles the conductance network for a Model once and then
+// answers steady-state and transient queries against it. Building a
+// Solver is O(cells); each solve is a matrix-free preconditioned CG.
+type Solver struct {
+	m *Model
+
+	rows, cols int
+	nPerLayer  int
+	n          int // total unknowns
+
+	// Conductances, all in W/K.
+	// gUp[i] connects cell i to the vertically-adjacent cell one layer up
+	// (gUp of the top layer's cells is the convective path to ambient,
+	// folded into the diagonal instead of a neighbour link).
+	gUp []float64
+	// gRight[i] connects cell i to its +x neighbour in the same layer
+	// (zero on the last column).
+	gRight []float64
+	// gTopRow... gFront[i] connects cell i to its +y neighbour (zero on
+	// the last row).
+	gFront []float64
+	// diag[i] is the sum of all conductances incident on cell i,
+	// including boundary (ambient) conductances.
+	diag []float64
+	// gAmb[i] is the conductance from cell i straight to ambient (only
+	// non-zero for cells of the bottom and top layers).
+	gAmb []float64
+	// capacity[i] is the cell heat capacity in J/K (transient solves).
+	capacity []float64
+
+	// scratch buffers reused across solves.
+	r, z, p, ap []float64
+
+	// Tol is the relative-residual convergence tolerance for CG.
+	Tol float64
+	// MaxIter bounds CG iterations per solve.
+	MaxIter int
+}
+
+// NewSolver assembles the network. The model must Validate cleanly.
+func NewSolver(m *Model) (*Solver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Solver{
+		m:         m,
+		rows:      m.Grid.Rows,
+		cols:      m.Grid.Cols,
+		nPerLayer: m.Grid.NumCells(),
+		n:         m.NumCells(),
+		Tol:       1e-9,
+		MaxIter:   20000,
+	}
+	s.gUp = make([]float64, s.n)
+	s.gRight = make([]float64, s.n)
+	s.gFront = make([]float64, s.n)
+	s.diag = make([]float64, s.n)
+	s.gAmb = make([]float64, s.n)
+	s.capacity = make([]float64, s.n)
+	s.r = make([]float64, s.n)
+	s.z = make([]float64, s.n)
+	s.p = make([]float64, s.n)
+	s.ap = make([]float64, s.n)
+	s.assemble()
+	return s, nil
+}
+
+// idx maps (layer, cell-in-layer) to the global unknown index.
+func (s *Solver) idx(layer, cell int) int { return layer*s.nPerLayer + cell }
+
+func (s *Solver) assemble() {
+	g := s.m.Grid
+	dx, dy := g.CellW(), g.CellH()
+	area := g.CellArea()
+
+	for li, layer := range s.m.Layers {
+		t := layer.Thickness
+		for row := 0; row < s.rows; row++ {
+			for col := 0; col < s.cols; col++ {
+				c := g.Index(row, col)
+				i := s.idx(li, c)
+				lam := layer.Lambda[c]
+				s.capacity[i] = layer.VolCap[c] * area * t
+
+				// Lateral +x: two half-cell resistances in series.
+				if col+1 < s.cols {
+					lam2 := layer.Lambda[g.Index(row, col+1)]
+					r := dx/(2*lam*t*dy) + dx/(2*lam2*t*dy)
+					s.gRight[i] = 1 / r
+				}
+				// Lateral +y.
+				if row+1 < s.rows {
+					lam2 := layer.Lambda[g.Index(row+1, col)]
+					r := dy/(2*lam*t*dx) + dy/(2*lam2*t*dx)
+					s.gFront[i] = 1 / r
+				}
+				// Vertical, to the layer above: half-thickness of each.
+				if li+1 < len(s.m.Layers) {
+					up := s.m.Layers[li+1]
+					lamUp := up.Lambda[c]
+					r := t/(2*lam*area) + up.Thickness/(2*lamUp*area)
+					s.gUp[i] = 1 / r
+				} else {
+					// Top layer: half-thickness conduction plus the
+					// convective film to ambient, in series.
+					r := t/(2*lam*area) + 1/(s.m.TopH*area)
+					s.gAmb[i] += 1 / r
+				}
+				if li == 0 && s.m.BottomH > 0 {
+					r := t/(2*lam*area) + 1/(s.m.BottomH*area)
+					s.gAmb[i] += 1 / r
+				}
+			}
+		}
+	}
+
+	// Diagonal: sum of incident conductances.
+	for li := range s.m.Layers {
+		for c := 0; c < s.nPerLayer; c++ {
+			i := s.idx(li, c)
+			d := s.gAmb[i]
+			d += s.gRight[i] + s.gFront[i]
+			row, col := s.m.Grid.RowCol(c)
+			if col > 0 {
+				d += s.gRight[i-1]
+			}
+			if row > 0 {
+				d += s.gFront[i-s.cols]
+			}
+			if li+1 < len(s.m.Layers) {
+				d += s.gUp[i]
+			}
+			if li > 0 {
+				d += s.gUp[i-s.nPerLayer]
+			}
+			s.diag[i] = d
+		}
+	}
+}
+
+// apply computes y = (G + shift·C/dtDiag) · x where G is the conductance
+// matrix. shift is 0 for steady-state solves; for backward-Euler steps it
+// is 1/dt so the diagonal gains C/dt.
+func (s *Solver) apply(x, y []float64, shift float64) {
+	for i := range y {
+		d := s.diag[i]
+		if shift != 0 {
+			d += shift * s.capacity[i]
+		}
+		acc := d * x[i]
+		if g := s.gRight[i]; g != 0 {
+			acc -= g * x[i+1]
+		}
+		if g := s.gFront[i]; g != 0 {
+			acc -= g * x[i+s.cols]
+		}
+		// Symmetric counterparts.
+		c := i % s.nPerLayer
+		row, col := c/s.cols, c%s.cols
+		if col > 0 {
+			acc -= s.gRight[i-1] * x[i-1]
+		}
+		if row > 0 {
+			acc -= s.gFront[i-s.cols] * x[i-s.cols]
+		}
+		li := i / s.nPerLayer
+		if li+1 < len(s.m.Layers) {
+			if g := s.gUp[i]; g != 0 {
+				acc -= g * x[i+s.nPerLayer]
+			}
+		}
+		if li > 0 {
+			if g := s.gUp[i-s.nPerLayer]; g != 0 {
+				acc -= g * x[i-s.nPerLayer]
+			}
+		}
+		y[i] = acc
+	}
+}
+
+// cg solves (G + shift·C)·x = b in place, starting from the current
+// contents of x (a warm start), using Jacobi-preconditioned conjugate
+// gradients. It returns the iteration count.
+func (s *Solver) cg(b, x []float64, shift float64) (int, error) {
+	s.apply(x, s.ap, shift)
+	bnorm := 0.0
+	for i := range b {
+		s.r[i] = b[i] - s.ap[i]
+		bnorm += b[i] * b[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, nil
+	}
+	precond := func(r, z []float64) {
+		for i := range r {
+			d := s.diag[i]
+			if shift != 0 {
+				d += shift * s.capacity[i]
+			}
+			z[i] = r[i] / d
+		}
+	}
+	precond(s.r, s.z)
+	copy(s.p, s.z)
+	rz := dot(s.r, s.z)
+	for iter := 1; iter <= s.MaxIter; iter++ {
+		s.apply(s.p, s.ap, shift)
+		pap := dot(s.p, s.ap)
+		if pap <= 0 {
+			return iter, fmt.Errorf("thermal: CG breakdown (pAp=%g); matrix not SPD?", pap)
+		}
+		alpha := rz / pap
+		rnorm := 0.0
+		for i := range x {
+			x[i] += alpha * s.p[i]
+			s.r[i] -= alpha * s.ap[i]
+			rnorm += s.r[i] * s.r[i]
+		}
+		if math.Sqrt(rnorm) <= s.Tol*bnorm {
+			return iter, nil
+		}
+		precond(s.r, s.z)
+		rzNew := dot(s.r, s.z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range s.p {
+			s.p[i] = s.z[i] + beta*s.p[i]
+		}
+	}
+	return s.MaxIter, fmt.Errorf("thermal: CG did not converge in %d iterations", s.MaxIter)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SteadyState solves G·T = P + G_amb·T_amb and returns the temperature
+// field in °C. The power map must have the model's shape.
+func (s *Solver) SteadyState(power PowerMap) (Temperature, error) {
+	if len(power) != len(s.m.Layers) {
+		return nil, fmt.Errorf("thermal: power map has %d layers, model has %d", len(power), len(s.m.Layers))
+	}
+	b := make([]float64, s.n)
+	for li, lp := range power {
+		if len(lp) != s.nPerLayer {
+			return nil, fmt.Errorf("thermal: power layer %d has %d cells, want %d", li, len(lp), s.nPerLayer)
+		}
+		for c, w := range lp {
+			b[s.idx(li, c)] = w
+		}
+	}
+	for i, g := range s.gAmb {
+		if g != 0 {
+			b[i] += g * s.m.Ambient
+		}
+	}
+	x := make([]float64, s.n)
+	for i := range x {
+		x[i] = s.m.Ambient // warm start at ambient
+	}
+	if _, err := s.cg(b, x, 0); err != nil {
+		return nil, err
+	}
+	return s.fieldFromVector(x), nil
+}
+
+// fieldFromVector reshapes the flat unknown vector into a Temperature.
+func (s *Solver) fieldFromVector(x []float64) Temperature {
+	out := make(Temperature, len(s.m.Layers))
+	for li := range s.m.Layers {
+		out[li] = append([]float64(nil), x[li*s.nPerLayer:(li+1)*s.nPerLayer]...)
+	}
+	return out
+}
+
+// vectorFromField flattens a Temperature into an unknown vector.
+func (s *Solver) vectorFromField(t Temperature) ([]float64, error) {
+	if len(t) != len(s.m.Layers) {
+		return nil, fmt.Errorf("thermal: field has %d layers, model has %d", len(t), len(s.m.Layers))
+	}
+	x := make([]float64, s.n)
+	for li := range t {
+		if len(t[li]) != s.nPerLayer {
+			return nil, fmt.Errorf("thermal: field layer %d has %d cells", li, len(t[li]))
+		}
+		copy(x[li*s.nPerLayer:], t[li])
+	}
+	return x, nil
+}
+
+// AmbientHeatFlow returns the total heat flowing out of the stack to
+// ambient for a given temperature field, in watts. At steady state this
+// equals the injected power (energy balance; asserted in tests).
+func (s *Solver) AmbientHeatFlow(t Temperature) float64 {
+	x, err := s.vectorFromField(t)
+	if err != nil {
+		return math.NaN()
+	}
+	q := 0.0
+	for i, g := range s.gAmb {
+		if g != 0 {
+			q += g * (x[i] - s.m.Ambient)
+		}
+	}
+	return q
+}
+
+// Model returns the model this solver was built for.
+func (s *Solver) Model() *Model { return s.m }

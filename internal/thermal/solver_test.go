@@ -1,0 +1,314 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/geom"
+)
+
+// slabModel builds a uniform single-material stack for analytic checks.
+func slabModel(rows, cols, nLayers int, thickness, lambda, topH float64) *Model {
+	g := geom.NewGrid(rows, cols, 8e-3, 8e-3)
+	m := &Model{Grid: g, TopH: topH, BottomH: 0, Ambient: 45}
+	n := g.NumCells()
+	for i := 0; i < nLayers; i++ {
+		l := Layer{Name: "slab", Thickness: thickness}
+		l.Lambda = make([]float64, n)
+		l.VolCap = make([]float64, n)
+		for c := 0; c < n; c++ {
+			l.Lambda[c] = lambda
+			l.VolCap[c] = 1.75e6
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m
+}
+
+// With uniform power injected in the bottom layer of a uniform slab and
+// no lateral gradients, the 1-D analytic solution applies:
+//
+//	T_bottom = T_amb + Q·(R_cond + R_conv)
+//
+// where R_cond covers the distance from the bottom layer's mid-plane to
+// the top layer's mid-plane plus the top half layer, and R_conv = 1/(h·A).
+func TestSteadyStateMatchesAnalytic1D(t *testing.T) {
+	const (
+		nLayers = 6
+		thick   = 100e-6
+		lambda  = 120.0
+		topH    = 30000.0
+		power   = 20.0
+	)
+	m := slabModel(8, 8, nLayers, thick, lambda, topH)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPowerMap()
+	n := m.Grid.NumCells()
+	for c := 0; c < n; c++ {
+		p[0][c] = power / float64(n)
+	}
+	temps, err := s.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	area := m.Grid.Width * m.Grid.Height
+	// From the bottom layer's centre to ambient: (nLayers-1) full layer
+	// gaps plus the top half-layer, then convection.
+	rCond := (float64(nLayers-1)*thick + thick/2) / (lambda * area)
+	rConv := 1 / (topH * area)
+	wantBottom := m.Ambient + power*(rCond+rConv)
+
+	got := temps[0][0]
+	if math.Abs(got-wantBottom) > 0.02 {
+		t.Fatalf("bottom T = %.4f °C, analytic %.4f °C", got, wantBottom)
+	}
+	// Uniform power: the field must be laterally flat.
+	for c := 0; c < n; c++ {
+		if math.Abs(temps[0][c]-got) > 1e-6 {
+			t.Fatalf("lateral gradient under uniform power: cell %d %.6f vs %.6f", c, temps[0][c], got)
+		}
+	}
+	// Monotonic decrease towards the sink.
+	for li := 1; li < nLayers; li++ {
+		if temps[li][0] >= temps[li-1][0] {
+			t.Fatalf("temperature must fall towards the sink: layer %d %.4f >= layer %d %.4f",
+				li, temps[li][0], li-1, temps[li-1][0])
+		}
+	}
+}
+
+// Energy balance: at steady state, total heat convected to ambient must
+// equal total injected power.
+func TestSteadyStateEnergyBalance(t *testing.T) {
+	m := slabModel(10, 10, 4, 100e-6, 120, 20000)
+	m.BottomH = 150 // exercise both boundaries
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPowerMap()
+	// A concentrated hotspot plus scattered power.
+	p[0][m.Grid.Index(5, 5)] = 7.5
+	p[2][m.Grid.Index(1, 8)] = 2.5
+	p[3][m.Grid.Index(9, 0)] = 1.0
+	temps, err := s.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.AmbientHeatFlow(temps)
+	if math.Abs(out-p.Total()) > 1e-6*p.Total() {
+		t.Fatalf("energy balance: in %.6f W, out %.6f W", p.Total(), out)
+	}
+}
+
+// Linearity/superposition: solving for P1+P2 equals solving separately
+// and adding the temperature rises.
+func TestSteadyStateSuperposition(t *testing.T) {
+	m := slabModel(8, 8, 3, 80e-6, 100, 25000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := m.NewPowerMap()
+	p2 := m.NewPowerMap()
+	p1[0][m.Grid.Index(2, 2)] = 5
+	p2[0][m.Grid.Index(6, 6)] = 3
+	p12 := m.NewPowerMap()
+	p12[0][m.Grid.Index(2, 2)] = 5
+	p12[0][m.Grid.Index(6, 6)] = 3
+
+	t1, err := s.SteadyState(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.SteadyState(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t12, err := s.SteadyState(p12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := range t12 {
+		for c := range t12[li] {
+			want := (t1[li][c] - m.Ambient) + (t2[li][c] - m.Ambient) + m.Ambient
+			if math.Abs(t12[li][c]-want) > 1e-5 {
+				t.Fatalf("superposition violated at layer %d cell %d: %.6f vs %.6f", li, c, t12[li][c], want)
+			}
+		}
+	}
+}
+
+// Symmetry: a hotspot at the die centre of a symmetric model produces a
+// 4-fold symmetric field.
+func TestSteadyStateSymmetry(t *testing.T) {
+	m := slabModel(9, 9, 3, 100e-6, 120, 20000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPowerMap()
+	p[0][m.Grid.Index(4, 4)] = 10 // exact centre of a 9x9 grid
+	temps, err := s.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Grid
+	for r := 0; r < 9; r++ {
+		for c := 0; c < 9; c++ {
+			a := temps[0][g.Index(r, c)]
+			b := temps[0][g.Index(8-r, c)]
+			d := temps[0][g.Index(r, 8-c)]
+			if math.Abs(a-b) > 1e-7 || math.Abs(a-d) > 1e-7 {
+				t.Fatalf("asymmetry at (%d,%d): %.9f / %.9f / %.9f", r, c, a, b, d)
+			}
+		}
+	}
+	// The hotspot cell must be the hottest.
+	if _, at := Temperature(temps).Max(0); at != g.Index(4, 4) {
+		t.Fatalf("hotspot at cell %d, want centre", at)
+	}
+}
+
+// Adding a high-conductivity vertical pillar under the hotspot must
+// reduce the hotspot temperature — this is the core physical mechanism
+// behind the whole paper.
+func TestPillarReducesHotspot(t *testing.T) {
+	build := func(pillar bool) Temperature {
+		m := slabModel(8, 8, 5, 100e-6, 1.5, 20000) // resistive layers, D2D-like
+		if pillar {
+			hot := m.Grid.Index(3, 3)
+			for li := range m.Layers {
+				m.Layers[li].Lambda[hot] = 400
+			}
+		}
+		s, err := NewSolver(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.NewPowerMap()
+		p[0][m.Grid.Index(3, 3)] = 2
+		temps, err := s.SteadyState(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return temps
+	}
+	base := build(false)
+	with := build(true)
+	b, _ := base.Max(0)
+	w, _ := with.Max(0)
+	if w >= b {
+		t.Fatalf("pillar did not help: %.3f °C with vs %.3f °C without", w, b)
+	}
+	if b-w < 1 {
+		t.Fatalf("pillar effect implausibly small: %.4f °C", b-w)
+	}
+}
+
+// Grid refinement: the hotspot temperature must converge as the grid is
+// refined (successive refinements differ by less and less).
+func TestGridRefinementConverges(t *testing.T) {
+	hotspot := func(n int) float64 {
+		g := geom.NewGrid(n, n, 8e-3, 8e-3)
+		m := &Model{Grid: g, TopH: 25000, Ambient: 45}
+		for i := 0; i < 3; i++ {
+			l := Layer{Name: "slab", Thickness: 100e-6}
+			l.Lambda = make([]float64, g.NumCells())
+			l.VolCap = make([]float64, g.NumCells())
+			for c := range l.Lambda {
+				l.Lambda[c] = 120
+				l.VolCap[c] = 1.75e6
+			}
+			m.Layers = append(m.Layers, l)
+		}
+		s, err := NewSolver(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.NewPowerMap()
+		// A fixed physical 2mm x 2mm block at the centre, so refining the
+		// grid does not shrink the heat source.
+		p.AddBlock(g, 0, geom.NewRect(3e-3, 3e-3, 2e-3, 2e-3), 10)
+		temps, err := s.SteadyState(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := temps.Max(0)
+		return v
+	}
+	t8, t16, t32 := hotspot(8), hotspot(16), hotspot(32)
+	d1, d2 := math.Abs(t16-t8), math.Abs(t32-t16)
+	if d2 > d1 {
+		t.Fatalf("not converging: |16-8|=%.4f, |32-16|=%.4f", d1, d2)
+	}
+	if d2 > 0.5 {
+		t.Fatalf("refinement still moving by %.3f °C at 32x32", d2)
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	m := slabModel(4, 4, 2, 100e-6, 120, 20000)
+	good := *m
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good model rejected: %v", err)
+	}
+	bad := slabModel(4, 4, 2, 100e-6, 120, 20000)
+	bad.Layers[1].Lambda[3] = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative λ not caught")
+	}
+	bad2 := slabModel(4, 4, 2, 100e-6, 120, 20000)
+	bad2.Layers[0].Thickness = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero thickness not caught")
+	}
+	bad3 := slabModel(4, 4, 2, 100e-6, 120, 0)
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("zero TopH not caught")
+	}
+	bad4 := slabModel(4, 4, 2, 100e-6, 120, 20000)
+	bad4.Layers[0].Lambda = bad4.Layers[0].Lambda[:3]
+	if err := bad4.Validate(); err == nil {
+		t.Fatal("short λ slice not caught")
+	}
+}
+
+func TestPowerMapAddBlockConservesPower(t *testing.T) {
+	g := geom.NewGrid(16, 16, 8e-3, 8e-3)
+	m := &Model{Grid: g, TopH: 20000, Ambient: 45}
+	l := Layer{Name: "x", Thickness: 1e-4}
+	l.Lambda = make([]float64, g.NumCells())
+	l.VolCap = make([]float64, g.NumCells())
+	for c := range l.Lambda {
+		l.Lambda[c], l.VolCap[c] = 120, 1.75e6
+	}
+	m.Layers = []Layer{l}
+	p := m.NewPowerMap()
+	// Blocks that straddle cell boundaries and die edges.
+	p.AddBlock(g, 0, geom.NewRect(0.3e-3, 0.7e-3, 1.1e-3, 2.3e-3), 3.5)
+	p.AddBlock(g, 0, geom.NewRect(7.1e-3, 7.3e-3, 0.9e-3, 0.7e-3), 1.5)
+	if math.Abs(p.Total()-5.0) > 1e-9 {
+		t.Fatalf("power not conserved: %.9f W, want 5", p.Total())
+	}
+}
+
+func TestPowerMapShapeErrors(t *testing.T) {
+	m := slabModel(4, 4, 2, 100e-6, 120, 20000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SteadyState(PowerMap{make([]float64, 16)}); err == nil {
+		t.Fatal("wrong layer count not caught")
+	}
+	bad := m.NewPowerMap()
+	bad[1] = bad[1][:5]
+	if _, err := s.SteadyState(bad); err == nil {
+		t.Fatal("wrong cell count not caught")
+	}
+}

@@ -1,0 +1,93 @@
+package thermal
+
+import "fmt"
+
+// TransientState carries a temperature field being advanced in time.
+type TransientState struct {
+	s *Solver
+	// x is the current temperature vector.
+	x []float64
+	// Time is the simulated time in seconds since the state was created.
+	Time float64
+}
+
+// NewTransient creates a transient state initialised from a temperature
+// field (commonly a steady-state solution for the starting workload, or a
+// uniform ambient field).
+func (s *Solver) NewTransient(initial Temperature) (*TransientState, error) {
+	x, err := s.vectorFromField(initial)
+	if err != nil {
+		return nil, err
+	}
+	return &TransientState{s: s, x: x}, nil
+}
+
+// NewTransientAmbient creates a transient state at uniform ambient.
+func (s *Solver) NewTransientAmbient() *TransientState {
+	x := make([]float64, s.n)
+	for i := range x {
+		x[i] = s.m.Ambient
+	}
+	return &TransientState{s: s, x: x}
+}
+
+// Step advances the field by dt seconds under the given power map using
+// one backward-Euler step:
+//
+//	(G + C/dt)·T_{n+1} = C/dt·T_n + P + G_amb·T_amb
+//
+// Backward Euler is unconditionally stable, so dt can be the DTM control
+// interval (milliseconds) even though the thin metal layers have
+// microsecond RC constants.
+func (ts *TransientState) Step(power PowerMap, dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("thermal: non-positive time step %g", dt)
+	}
+	s := ts.s
+	if len(power) != len(s.m.Layers) {
+		return fmt.Errorf("thermal: power map has %d layers, model has %d", len(power), len(s.m.Layers))
+	}
+	b := make([]float64, s.n)
+	inv := 1 / dt
+	for li, lp := range power {
+		if len(lp) != s.nPerLayer {
+			return fmt.Errorf("thermal: power layer %d has %d cells, want %d", li, len(lp), s.nPerLayer)
+		}
+		base := li * s.nPerLayer
+		for c, w := range lp {
+			i := base + c
+			b[i] = w + s.capacity[i]*inv*ts.x[i]
+		}
+	}
+	for i, g := range s.gAmb {
+		if g != 0 {
+			b[i] += g * s.m.Ambient
+		}
+	}
+	// Warm start from the current field: for small dt the solution is
+	// close, so CG converges in a handful of iterations.
+	if _, err := s.cg(b, ts.x, inv); err != nil {
+		return err
+	}
+	ts.Time += dt
+	return nil
+}
+
+// Run advances the field through n equal steps of dt seconds each,
+// invoking observe (if non-nil) after every step with the elapsed time.
+func (ts *TransientState) Run(power PowerMap, dt float64, n int, observe func(time float64, t Temperature)) error {
+	for i := 0; i < n; i++ {
+		if err := ts.Step(power, dt); err != nil {
+			return err
+		}
+		if observe != nil {
+			observe(ts.Time, ts.Field())
+		}
+	}
+	return nil
+}
+
+// Field returns a copy of the current temperature field.
+func (ts *TransientState) Field() Temperature {
+	return ts.s.fieldFromVector(ts.x)
+}

@@ -1,0 +1,166 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// A transient run under constant power must approach the steady-state
+// solution monotonically in max-norm as time advances.
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	m := slabModel(8, 8, 4, 100e-6, 120, 25000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPowerMap()
+	p[0][m.Grid.Index(4, 4)] = 8
+	want, err := s.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := s.NewTransientAmbient()
+	// The stack's thermal RC constant is small (thin dies); a few hundred
+	// ms is far past settling.
+	for i := 0; i < 100; i++ {
+		if err := ts.Step(p, 5e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ts.Field()
+	for li := range want {
+		for c := range want[li] {
+			if math.Abs(got[li][c]-want[li][c]) > 0.02 {
+				t.Fatalf("transient end state differs at layer %d cell %d: %.4f vs %.4f",
+					li, c, got[li][c], want[li][c])
+			}
+		}
+	}
+}
+
+// Heating must be monotone: with constant power from ambient, the hottest
+// cell's temperature never decreases between steps.
+func TestTransientMonotoneHeating(t *testing.T) {
+	m := slabModel(6, 6, 3, 100e-6, 120, 25000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPowerMap()
+	p[0][m.Grid.Index(3, 3)] = 5
+	ts := s.NewTransientAmbient()
+	prev := m.Ambient
+	for i := 0; i < 30; i++ {
+		if err := ts.Step(p, 2e-3); err != nil {
+			t.Fatal(err)
+		}
+		max, _ := ts.Field().Max(0)
+		if max < prev-1e-9 {
+			t.Fatalf("heating not monotone at step %d: %.6f < %.6f", i, max, prev)
+		}
+		prev = max
+	}
+	if prev <= m.Ambient+0.5 {
+		t.Fatalf("no heating observed: %.3f °C", prev)
+	}
+}
+
+// Cooling: starting from a hot steady state and cutting power, the field
+// must relax back towards ambient.
+func TestTransientCooling(t *testing.T) {
+	m := slabModel(6, 6, 3, 100e-6, 120, 25000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPowerMap()
+	p[0][m.Grid.Index(2, 2)] = 6
+	hot, err := s.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := s.NewTransient(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := m.NewPowerMap()
+	if err := ts.Run(zero, 10e-3, 60, nil); err != nil {
+		t.Fatal(err)
+	}
+	max := ts.Field().MaxOverall()
+	if max > m.Ambient+0.05 {
+		t.Fatalf("did not cool to ambient: %.4f °C (ambient %.1f)", max, m.Ambient)
+	}
+}
+
+// Backward Euler must be stable for absurdly large steps: one giant step
+// lands (approximately) on the steady state rather than oscillating.
+func TestTransientStableForLargeSteps(t *testing.T) {
+	m := slabModel(6, 6, 3, 100e-6, 120, 25000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPowerMap()
+	p[0][m.Grid.Index(3, 2)] = 5
+	want, err := s.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := s.NewTransientAmbient()
+	if err := ts.Step(p, 1e6); err != nil { // ~11.5 days in one step
+		t.Fatal(err)
+	}
+	got := ts.Field()
+	w, _ := want.Max(0)
+	g, _ := got.Max(0)
+	if math.Abs(w-g) > 0.05 {
+		t.Fatalf("huge step diverged from steady state: %.4f vs %.4f", g, w)
+	}
+}
+
+func TestTransientRejectsBadInput(t *testing.T) {
+	m := slabModel(4, 4, 2, 100e-6, 120, 25000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := s.NewTransientAmbient()
+	if err := ts.Step(m.NewPowerMap(), 0); err == nil {
+		t.Fatal("zero dt accepted")
+	}
+	if err := ts.Step(PowerMap{}, 1e-3); err == nil {
+		t.Fatal("empty power map accepted")
+	}
+	if _, err := s.NewTransient(Temperature{}); err == nil {
+		t.Fatal("empty field accepted")
+	}
+}
+
+func TestTemperatureHelpers(t *testing.T) {
+	m := slabModel(4, 4, 2, 100e-6, 120, 25000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPowerMap()
+	p[0][m.Grid.Index(1, 1)] = 4
+	temps, err := s.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := temps.Clone()
+	clone[0][0] = -1000
+	if temps[0][0] == -1000 {
+		t.Fatal("Clone did not deep-copy")
+	}
+	if temps.MaxOverall() < m.Ambient {
+		t.Fatal("MaxOverall below ambient")
+	}
+	mean := temps.MeanOver(m.Grid, 0, m.Grid.CellRect(1, 1))
+	max := temps.MaxOver(m.Grid, 0, m.Grid.CellRect(1, 1))
+	if math.Abs(mean-max) > 1e-12 {
+		t.Fatalf("single-cell mean %.6f != max %.6f", mean, max)
+	}
+}

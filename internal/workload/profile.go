@@ -1,0 +1,250 @@
+// Package workload synthesises the instruction and memory-reference
+// streams the performance simulator executes. It substitutes for running
+// the paper's SPLASH-2, PARSEC and NAS Parallel Benchmark binaries under
+// SESC: each of the 17 applications is characterised by a Profile whose
+// parameters (instruction mix, working set, locality, sharing) are set so
+// the simulated base system reproduces the paper's qualitative behaviour —
+// compute-bound codes (LU-NAS, Cholesky, Radiosity, Barnes) run hot and
+// scale with frequency; memory-bound codes (FT, IS, CG, Radix) run cooler
+// and flatten out.
+//
+// Traces are deterministic: the same app, thread and length always produce
+// the same stream, so every experiment is reproducible.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Class is a coarse thermal classification used by the λ-aware thread
+// placement policy (§5.2.1: compute-intensive threads are the thermally
+// demanding ones).
+type Class int
+
+const (
+	// ComputeBound applications are dominated by ALU/FPU activity.
+	ComputeBound Class = iota
+	// Mixed applications have substantial compute and memory demand.
+	Mixed
+	// MemoryBound applications are dominated by DRAM stalls.
+	MemoryBound
+)
+
+// String names the thermal class.
+func (c Class) String() string {
+	switch c {
+	case ComputeBound:
+		return "compute"
+	case Mixed:
+		return "mixed"
+	default:
+		return "memory"
+	}
+}
+
+// Profile characterises one application's per-thread behaviour.
+type Profile struct {
+	Name  string
+	Suite string // "splash2", "parsec" or "npb"
+	Class Class
+
+	// MemFrac is the fraction of instructions that reference memory.
+	MemFrac float64
+	// StoreFrac is the fraction of memory references that are stores.
+	StoreFrac float64
+	// FPFrac is the fraction of non-memory instructions executed in the
+	// floating-point units (the rest split between integer ALUs and
+	// branch handling).
+	FPFrac float64
+	// BranchFrac is the fraction of non-memory instructions that are
+	// branches.
+	BranchFrac float64
+
+	// WorkingSet is the per-thread private working-set size in bytes.
+	// Working sets below the 256 KB private L2 stay on-die.
+	WorkingSet int
+	// SharedWorkingSet is the size of the globally shared region.
+	SharedWorkingSet int
+	// SharedFrac is the fraction of memory references that touch the
+	// shared region (driving MESI coherence traffic).
+	SharedFrac float64
+	// Locality is the probability that the next reference falls in the
+	// same or adjacent cache line as the previous one (spatial reuse);
+	// the rest are drawn from the working set at random.
+	Locality float64
+	// L2Resident is the fraction of non-local private references that
+	// fall in a hot mid-size region (fits the 256 KB L2 but not the
+	// 32 KB L1) — index structures, histograms, blocked tiles. The rest
+	// go to the full working set.
+	L2Resident float64
+	// DepLoadFrac is the fraction of L2 load misses whose consumer is
+	// immediately dependent (pointer chases, permutation reads): the
+	// core blocks for the full memory latency on those. The remainder
+	// overlap through the miss queue.
+	DepLoadFrac float64
+	// MLP is the memory-level parallelism: how many outstanding
+	// independent L2 misses the core can overlap.
+	MLP int
+
+	// Instructions is the per-thread instruction budget used by the
+	// paper-scale experiments.
+	Instructions int
+}
+
+// Validate sanity-checks a profile's ranges.
+func (p Profile) Validate() error {
+	inUnit := func(v float64) bool { return v >= 0 && v <= 1 }
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: empty name")
+	case !inUnit(p.MemFrac) || !inUnit(p.StoreFrac) || !inUnit(p.FPFrac) ||
+		!inUnit(p.BranchFrac) || !inUnit(p.SharedFrac) || !inUnit(p.Locality) ||
+		!inUnit(p.L2Resident) || !inUnit(p.DepLoadFrac):
+		return fmt.Errorf("workload %s: fraction out of [0,1]", p.Name)
+	case p.FPFrac+p.BranchFrac > 1:
+		return fmt.Errorf("workload %s: FP+branch fractions exceed 1", p.Name)
+	case p.WorkingSet < 4096:
+		return fmt.Errorf("workload %s: working set %d too small", p.Name, p.WorkingSet)
+	case p.SharedWorkingSet < 4096:
+		return fmt.Errorf("workload %s: shared working set %d too small", p.Name, p.SharedWorkingSet)
+	case p.MLP < 1 || p.MLP > 16:
+		return fmt.Errorf("workload %s: MLP %d out of range", p.Name, p.MLP)
+	case p.Instructions < 1000:
+		return fmt.Errorf("workload %s: instruction budget %d too small", p.Name, p.Instructions)
+	}
+	return nil
+}
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// defaultInstr is the per-thread instruction budget for paper-scale runs.
+const defaultInstr = 400_000
+
+// profiles is the application table. The mixes and working sets follow
+// the published characterisations of the suites; what matters for the
+// reproduction is the relative ordering of compute vs memory intensity,
+// which drives both the power (hence temperature) of each code and its
+// frequency-scaling behaviour.
+var profiles = []Profile{
+	// SPLASH-2.
+	{Name: "fft", Suite: "splash2", Class: Mixed,
+		MemFrac: 0.34, StoreFrac: 0.35, FPFrac: 0.52, BranchFrac: 0.10,
+		WorkingSet: 4 * mb, SharedWorkingSet: 8 * mb, SharedFrac: 0.12,
+		Locality: 0.93, L2Resident: 0.60, DepLoadFrac: 0.60, MLP: 4, Instructions: defaultInstr},
+	{Name: "cholesky", Suite: "splash2", Class: ComputeBound,
+		MemFrac: 0.28, StoreFrac: 0.30, FPFrac: 0.62, BranchFrac: 0.10,
+		WorkingSet: 192 * kb, SharedWorkingSet: 2 * mb, SharedFrac: 0.10,
+		Locality: 0.90, L2Resident: 0.0, DepLoadFrac: 0.30, MLP: 4, Instructions: defaultInstr},
+	{Name: "lu", Suite: "splash2", Class: ComputeBound,
+		MemFrac: 0.30, StoreFrac: 0.30, FPFrac: 0.56, BranchFrac: 0.08,
+		WorkingSet: 128 * kb, SharedWorkingSet: 2 * mb, SharedFrac: 0.08,
+		Locality: 0.92, L2Resident: 0.0, DepLoadFrac: 0.30, MLP: 4, Instructions: defaultInstr},
+	{Name: "radix", Suite: "splash2", Class: MemoryBound,
+		MemFrac: 0.46, StoreFrac: 0.45, FPFrac: 0.05, BranchFrac: 0.14,
+		WorkingSet: 12 * mb, SharedWorkingSet: 16 * mb, SharedFrac: 0.20,
+		Locality: 0.90, L2Resident: 0.55, DepLoadFrac: 0.85, MLP: 4, Instructions: defaultInstr},
+	{Name: "barnes", Suite: "splash2", Class: ComputeBound,
+		MemFrac: 0.30, StoreFrac: 0.28, FPFrac: 0.58, BranchFrac: 0.12,
+		WorkingSet: 224 * kb, SharedWorkingSet: 4 * mb, SharedFrac: 0.15,
+		Locality: 0.88, L2Resident: 0.0, DepLoadFrac: 0.40, MLP: 4, Instructions: defaultInstr},
+	{Name: "fmm", Suite: "splash2", Class: ComputeBound,
+		MemFrac: 0.29, StoreFrac: 0.28, FPFrac: 0.60, BranchFrac: 0.10,
+		WorkingSet: 256 * kb, SharedWorkingSet: 4 * mb, SharedFrac: 0.12,
+		Locality: 0.88, L2Resident: 0.0, DepLoadFrac: 0.40, MLP: 4, Instructions: defaultInstr},
+	{Name: "radiosity", Suite: "splash2", Class: ComputeBound,
+		MemFrac: 0.29, StoreFrac: 0.30, FPFrac: 0.60, BranchFrac: 0.12,
+		WorkingSet: 200 * kb, SharedWorkingSet: 4 * mb, SharedFrac: 0.18,
+		Locality: 0.89, L2Resident: 0.0, DepLoadFrac: 0.40, MLP: 4, Instructions: defaultInstr},
+	{Name: "raytrace", Suite: "splash2", Class: Mixed,
+		MemFrac: 0.34, StoreFrac: 0.22, FPFrac: 0.52, BranchFrac: 0.14,
+		WorkingSet: 1 * mb, SharedWorkingSet: 8 * mb, SharedFrac: 0.22,
+		Locality: 0.91, L2Resident: 0.60, DepLoadFrac: 0.60, MLP: 4, Instructions: defaultInstr},
+	// PARSEC.
+	{Name: "fluidanimate", Suite: "parsec", Class: Mixed,
+		MemFrac: 0.35, StoreFrac: 0.30, FPFrac: 0.52, BranchFrac: 0.12,
+		WorkingSet: 768 * kb, SharedWorkingSet: 6 * mb, SharedFrac: 0.14,
+		Locality: 0.91, L2Resident: 0.60, DepLoadFrac: 0.60, MLP: 4, Instructions: defaultInstr},
+	{Name: "blackscholes", Suite: "parsec", Class: ComputeBound,
+		MemFrac: 0.30, StoreFrac: 0.25, FPFrac: 0.50, BranchFrac: 0.06,
+		WorkingSet: 96 * kb, SharedWorkingSet: 1 * mb, SharedFrac: 0.04,
+		Locality: 0.90, L2Resident: 0.0, DepLoadFrac: 0.30, MLP: 4, Instructions: defaultInstr},
+	// NAS Parallel Benchmarks.
+	{Name: "bt", Suite: "npb", Class: Mixed,
+		MemFrac: 0.35, StoreFrac: 0.32, FPFrac: 0.58, BranchFrac: 0.06,
+		WorkingSet: 2 * mb, SharedWorkingSet: 8 * mb, SharedFrac: 0.10,
+		Locality: 0.93, L2Resident: 0.60, DepLoadFrac: 0.55, MLP: 4, Instructions: defaultInstr},
+	{Name: "cg", Suite: "npb", Class: MemoryBound,
+		MemFrac: 0.44, StoreFrac: 0.18, FPFrac: 0.42, BranchFrac: 0.10,
+		WorkingSet: 8 * mb, SharedWorkingSet: 16 * mb, SharedFrac: 0.18,
+		Locality: 0.92, L2Resident: 0.55, DepLoadFrac: 0.85, MLP: 4, Instructions: defaultInstr},
+	{Name: "ft", Suite: "npb", Class: MemoryBound,
+		MemFrac: 0.44, StoreFrac: 0.40, FPFrac: 0.46, BranchFrac: 0.06,
+		WorkingSet: 14 * mb, SharedWorkingSet: 24 * mb, SharedFrac: 0.14,
+		Locality: 0.93, L2Resident: 0.55, DepLoadFrac: 0.80, MLP: 4, Instructions: defaultInstr},
+	{Name: "is", Suite: "npb", Class: MemoryBound,
+		MemFrac: 0.50, StoreFrac: 0.45, FPFrac: 0.02, BranchFrac: 0.14,
+		WorkingSet: 16 * mb, SharedWorkingSet: 24 * mb, SharedFrac: 0.25,
+		Locality: 0.88, L2Resident: 0.50, DepLoadFrac: 0.90, MLP: 4, Instructions: defaultInstr},
+	{Name: "lu-nas", Suite: "npb", Class: ComputeBound,
+		MemFrac: 0.27, StoreFrac: 0.30, FPFrac: 0.62, BranchFrac: 0.05,
+		WorkingSet: 160 * kb, SharedWorkingSet: 2 * mb, SharedFrac: 0.06,
+		Locality: 0.92, L2Resident: 0.0, DepLoadFrac: 0.30, MLP: 4, Instructions: defaultInstr},
+	{Name: "mg", Suite: "npb", Class: Mixed,
+		MemFrac: 0.40, StoreFrac: 0.30, FPFrac: 0.50, BranchFrac: 0.07,
+		WorkingSet: 6 * mb, SharedWorkingSet: 12 * mb, SharedFrac: 0.12,
+		Locality: 0.93, L2Resident: 0.60, DepLoadFrac: 0.65, MLP: 4, Instructions: defaultInstr},
+	{Name: "sp", Suite: "npb", Class: Mixed,
+		MemFrac: 0.36, StoreFrac: 0.32, FPFrac: 0.58, BranchFrac: 0.06,
+		WorkingSet: 3 * mb, SharedWorkingSet: 8 * mb, SharedFrac: 0.10,
+		Locality: 0.93, L2Resident: 0.60, DepLoadFrac: 0.60, MLP: 4, Instructions: defaultInstr},
+}
+
+var byName = func() map[string]Profile {
+	m := make(map[string]Profile, len(profiles))
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			panic(err)
+		}
+		m[p.Name] = p
+	}
+	return m
+}()
+
+// All returns every application profile in the paper's presentation order
+// (SPLASH-2, then PARSEC, then NPB — the order of Fig. 7's x-axis).
+func All() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// Names returns every application name in presentation order.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ByName looks up a profile.
+func ByName(name string) (Profile, error) {
+	p, ok := byName[name]
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return Profile{}, fmt.Errorf("workload: unknown application %q (known: %v)", name, known)
+	}
+	return p, nil
+}
+
+// MostComputeBound returns the profile the paper uses as the thermally
+// demanding thread-placement workload (LU from NAS).
+func MostComputeBound() Profile { return byName["lu-nas"] }
+
+// MostMemoryBound returns the paper's memory-intensive counterpart (IS).
+func MostMemoryBound() Profile { return byName["is"] }

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Stream produces the dynamic instructions a core executes. The built-in
+// synthetic Trace implements it; RecordedTrace replays externally
+// captured traces, so real workload recordings (from a binary
+// instrumentation tool, for instance) can drive the simulator instead of
+// the synthetic profiles.
+type Stream interface {
+	// Next returns the next dynamic instruction. Streams are infinite:
+	// finite recordings loop.
+	Next() Instr
+}
+
+var _ Stream = (*Trace)(nil)
+
+// RecordedTrace replays a fixed instruction sequence, looping at the end.
+type RecordedTrace struct {
+	instrs []Instr
+	pos    int
+}
+
+// NewRecordedTrace wraps an instruction slice.
+func NewRecordedTrace(instrs []Instr) (*RecordedTrace, error) {
+	if len(instrs) == 0 {
+		return nil, fmt.Errorf("workload: empty recorded trace")
+	}
+	cp := make([]Instr, len(instrs))
+	copy(cp, instrs)
+	return &RecordedTrace{instrs: cp}, nil
+}
+
+// Len returns the recording's length.
+func (r *RecordedTrace) Len() int { return len(r.instrs) }
+
+// Next replays the recording, looping.
+func (r *RecordedTrace) Next() Instr {
+	in := r.instrs[r.pos]
+	r.pos++
+	if r.pos == len(r.instrs) {
+		r.pos = 0
+	}
+	return in
+}
+
+// ParseTrace reads the plain-text trace format:
+//
+//	# comment and blank lines are ignored
+//	I              integer ALU op
+//	F              floating-point op
+//	B              branch
+//	L <hex-addr>   load from address
+//	S <hex-addr>   store to address
+//
+// Addresses accept an optional 0x prefix. The format is deliberately
+// trivial so any tracing tool can emit it with a printf.
+func ParseTrace(r io.Reader) (*RecordedTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	var instrs []Instr
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "I":
+			instrs = append(instrs, Instr{Kind: KindInt})
+		case "F":
+			instrs = append(instrs, Instr{Kind: KindFP})
+		case "B":
+			instrs = append(instrs, Instr{Kind: KindBranch})
+		case "L", "S":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("workload: line %d: %s needs an address", lineNo, fields[0])
+			}
+			addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad address %q: %v", lineNo, fields[1], err)
+			}
+			kind := KindLoad
+			if fields[0] == "S" {
+				kind = KindStore
+			}
+			instrs = append(instrs, Instr{Kind: kind, Addr: addr})
+		default:
+			return nil, fmt.Errorf("workload: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewRecordedTrace(instrs)
+}
+
+// WriteTrace emits a stream's next n instructions in the ParseTrace
+// format — useful for capturing a synthetic profile as a portable file.
+func WriteTrace(w io.Writer, s Stream, n int) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < n; i++ {
+		in := s.Next()
+		var err error
+		switch in.Kind {
+		case KindInt:
+			_, err = fmt.Fprintln(bw, "I")
+		case KindFP:
+			_, err = fmt.Fprintln(bw, "F")
+		case KindBranch:
+			_, err = fmt.Fprintln(bw, "B")
+		case KindLoad:
+			_, err = fmt.Fprintf(bw, "L %x\n", in.Addr)
+		case KindStore:
+			_, err = fmt.Fprintf(bw, "S %x\n", in.Addr)
+		default:
+			err = fmt.Errorf("workload: unknown kind %d", in.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

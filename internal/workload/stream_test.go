@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	in := `# header comment
+I
+F
+B
+L 1a40
+S 0x2b80
+
+# trailing comment
+I
+`
+	tr, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("parsed %d instructions, want 6", tr.Len())
+	}
+	want := []Instr{
+		{Kind: KindInt},
+		{Kind: KindFP},
+		{Kind: KindBranch},
+		{Kind: KindLoad, Addr: 0x1a40},
+		{Kind: KindStore, Addr: 0x2b80},
+		{Kind: KindInt},
+	}
+	for i, w := range want {
+		if got := tr.Next(); got != w {
+			t.Fatalf("instr %d = %+v, want %+v", i, got, w)
+		}
+	}
+	// Looping: the 7th instruction is the first again.
+	if got := tr.Next(); got.Kind != KindInt {
+		t.Fatalf("recording did not loop: %+v", got)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown record": "X\n",
+		"load no addr":   "L\n",
+		"bad addr":       "S zz\n",
+		"empty":          "# nothing\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestWriteTraceRoundTrip(t *testing.T) {
+	p, err := ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewTrace(p, 2)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, src, 500); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 500 {
+		t.Fatalf("recorded %d instructions", rec.Len())
+	}
+	// The replay must equal a fresh synthetic trace.
+	fresh := NewTrace(p, 2)
+	for i := 0; i < 500; i++ {
+		if got, want := rec.Next(), fresh.Next(); got != want {
+			t.Fatalf("instr %d: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestNewRecordedTraceRejectsEmpty(t *testing.T) {
+	if _, err := NewRecordedTrace(nil); err == nil {
+		t.Fatal("empty recording accepted")
+	}
+}
+
+func TestNewRecordedTraceCopies(t *testing.T) {
+	src := []Instr{{Kind: KindInt}}
+	tr, err := NewRecordedTrace(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0].Kind = KindFP
+	if tr.Next().Kind != KindInt {
+		t.Fatal("recording aliases the caller's slice")
+	}
+}

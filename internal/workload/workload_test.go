@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	apps := All()
+	if len(apps) != 17 {
+		t.Fatalf("%d applications, want the paper's 17", len(apps))
+	}
+	for _, p := range apps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	// 8 SPLASH-2 + 2 PARSEC + 7 NPB, per §6.3.
+	counts := map[string]int{}
+	for _, p := range All() {
+		counts[p.Suite]++
+	}
+	if counts["splash2"] != 8 || counts["parsec"] != 2 || counts["npb"] != 7 {
+		t.Fatalf("suite composition %v, want splash2=8 parsec=2 npb=7", counts)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("lu-nas")
+	if err != nil || p.Name != "lu-nas" {
+		t.Fatalf("ByName(lu-nas) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestCanonicalHotAndCoolApps(t *testing.T) {
+	if MostComputeBound().Class != ComputeBound {
+		t.Fatal("MostComputeBound is not compute-bound")
+	}
+	if MostMemoryBound().Class != MemoryBound {
+		t.Fatal("MostMemoryBound is not memory-bound")
+	}
+}
+
+// Compute-bound profiles must have systematically smaller working sets and
+// memory fractions than memory-bound ones — this is what drives the whole
+// thermal story.
+func TestClassOrdering(t *testing.T) {
+	var cWS, mWS, cMem, mMem []float64
+	for _, p := range All() {
+		switch p.Class {
+		case ComputeBound:
+			cWS = append(cWS, float64(p.WorkingSet))
+			cMem = append(cMem, p.MemFrac)
+		case MemoryBound:
+			mWS = append(mWS, float64(p.WorkingSet))
+			mMem = append(mMem, p.MemFrac)
+		}
+	}
+	if mean(cWS) >= mean(mWS) {
+		t.Fatal("compute apps should have smaller working sets than memory apps")
+	}
+	if mean(cMem) >= mean(mMem) {
+		t.Fatal("compute apps should have lower memory fractions than memory apps")
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	p, _ := ByName("fft")
+	a, b := NewTrace(p, 3), NewTrace(p, 3)
+	for i := 0; i < 10000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("traces diverge at instruction %d: %+v vs %+v", i, x, y)
+		}
+	}
+	if a.Emitted() != 10000 {
+		t.Fatalf("Emitted = %d", a.Emitted())
+	}
+}
+
+func TestTraceThreadsDiffer(t *testing.T) {
+	p, _ := ByName("fft")
+	a, b := NewTrace(p, 0), NewTrace(p, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("threads 0 and 1 produced %d/1000 identical instructions", same)
+	}
+}
+
+// The emitted instruction mix must match the profile's parameters.
+func TestTraceMixMatchesProfile(t *testing.T) {
+	for _, name := range []string{"lu-nas", "is", "fft"} {
+		p, _ := ByName(name)
+		tr := NewTrace(p, 0)
+		const n = 200000
+		var mem, fp, store int
+		for i := 0; i < n; i++ {
+			in := tr.Next()
+			switch in.Kind {
+			case KindLoad:
+				mem++
+			case KindStore:
+				mem++
+				store++
+			case KindFP:
+				fp++
+			}
+		}
+		gotMem := float64(mem) / n
+		if math.Abs(gotMem-p.MemFrac) > 0.01 {
+			t.Errorf("%s: mem frac %.3f, want %.3f", name, gotMem, p.MemFrac)
+		}
+		if mem > 0 {
+			gotStore := float64(store) / float64(mem)
+			if math.Abs(gotStore-p.StoreFrac) > 0.02 {
+				t.Errorf("%s: store frac %.3f, want %.3f", name, gotStore, p.StoreFrac)
+			}
+		}
+		wantFP := (1 - p.MemFrac) * p.FPFrac
+		if math.Abs(float64(fp)/n-wantFP) > 0.01 {
+			t.Errorf("%s: fp frac %.3f, want %.3f", name, float64(fp)/n, wantFP)
+		}
+	}
+}
+
+// Addresses must stay inside the thread's private window or the shared
+// window, and must be line-aligned... well, at least region-aligned: the
+// generator works at line granularity for the random component.
+func TestTraceAddressRanges(t *testing.T) {
+	p, _ := ByName("radix")
+	for _, thread := range []int{0, 5} {
+		tr := NewTrace(p, thread)
+		privLo := uint64(thread+1) * privateWindow
+		privHi := privLo + uint64(p.WorkingSet) + privateWindow/2 // generous slack for seq walk
+		for i := 0; i < 50000; i++ {
+			in := tr.Next()
+			if in.Kind != KindLoad && in.Kind != KindStore {
+				continue
+			}
+			inPriv := in.Addr >= privLo && in.Addr < privHi
+			inShared := in.Addr >= sharedWindow && in.Addr < sharedWindow+uint64(p.SharedWorkingSet)+64
+			if !inPriv && !inShared {
+				t.Fatalf("thread %d: address %#x outside both windows", thread, in.Addr)
+			}
+		}
+	}
+}
+
+// Higher Locality must translate into more same-line reuse.
+func TestLocalityControlsReuse(t *testing.T) {
+	reuse := func(locality float64) float64 {
+		p, _ := ByName("is")
+		p.Locality = locality
+		tr := NewTrace(p, 0)
+		var last uint64
+		samePage, refs := 0, 0
+		for i := 0; i < 100000; i++ {
+			in := tr.Next()
+			if in.Kind != KindLoad && in.Kind != KindStore {
+				continue
+			}
+			refs++
+			if in.Addr/64 == last/64 {
+				samePage++
+			}
+			last = in.Addr
+		}
+		return float64(samePage) / float64(refs)
+	}
+	lo, hi := reuse(0.3), reuse(0.9)
+	if hi <= lo+0.3 {
+		t.Fatalf("locality knob ineffective: reuse %.3f at 0.3 vs %.3f at 0.9", lo, hi)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	good, _ := ByName("fft")
+	cases := map[string]func(*Profile){
+		"empty name":   func(p *Profile) { p.Name = "" },
+		"neg frac":     func(p *Profile) { p.MemFrac = -0.1 },
+		"fp+branch>1":  func(p *Profile) { p.FPFrac = 0.9; p.BranchFrac = 0.2 },
+		"tiny ws":      func(p *Profile) { p.WorkingSet = 100 },
+		"tiny shared":  func(p *Profile) { p.SharedWorkingSet = 1 },
+		"zero mlp":     func(p *Profile) { p.MLP = 0 },
+		"tiny budget":  func(p *Profile) { p.Instructions = 10 },
+		"locality > 1": func(p *Profile) { p.Locality = 1.5 },
+	}
+	for name, mutate := range cases {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for _, c := range []Class{ComputeBound, Mixed, MemoryBound} {
+		if c.String() == "" {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+}
+
+func TestNamesOrderStable(t *testing.T) {
+	a, b := Names(), Names()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Names() order unstable")
+		}
+	}
+	if a[0] != "fft" {
+		t.Fatalf("presentation order should start with fft (Fig. 7 x-axis), got %s", a[0])
+	}
+}
