@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-full figures examples clean
+.PHONY: all build test test-fast vet race bench bench-full figures faults-smoke examples clean
 
 all: build vet test
 
@@ -13,7 +13,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# Full gate: vet plus the race-instrumented test suite.
+test: vet
+	$(GO) test -race ./...
+
+# Plain test run without race instrumentation (tier-1 equivalent).
+test-fast:
 	$(GO) test ./...
 
 # The simulator is single-threaded per run, but the race detector still
@@ -33,6 +38,10 @@ bench-full:
 FIG ?= 8
 figures:
 	$(GO) run ./cmd/xylem figure -id $(FIG)
+
+# Quick fault-injection sweep of the guarded DTM (sanity smoke, ~1 min).
+faults-smoke:
+	$(GO) run ./cmd/xylem faults -quick -grid 16 -seeds 2 -steps 60
 
 examples:
 	$(GO) run ./examples/quickstart

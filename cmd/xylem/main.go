@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -54,6 +55,8 @@ func main() {
 		err = cmdHeatmap(args)
 	case "trace":
 		err = cmdTrace(args)
+	case "faults":
+		err = cmdFaults(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -73,7 +76,8 @@ func usage() {
   schemes    Table 2 scheme inventory
   floorplan  dump die floorplans
   heatmap    render the processor-die temperature field
-  trace      record a synthetic workload trace to a portable file`)
+  trace      record a synthetic workload trace to a portable file
+  faults     sensor/power fault-injection sweep of the guarded DTM`)
 }
 
 // optFlags registers the shared experiment flags on a FlagSet.
@@ -343,6 +347,87 @@ func cmdHeatmap(args []string) error {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", *ppmPath)
+	}
+	return nil
+}
+
+func cmdFaults(args []string) error {
+	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
+	schemeName := fs.String("scheme", "base", "scheme: base|bank|banke|isoCount|prior")
+	app := fs.String("app", "", "application to run (default lu-nas)")
+	threads := fs.Int("threads", 0, "threads (default: all cores)")
+	rates := fs.String("rates", "", "comma-separated sensor dropout rates (default 0,0.001,0.01,0.05)")
+	seeds := fs.Int("seeds", 0, "fault seeds per rate (default 25)")
+	steps := fs.Int("steps", 0, "control intervals per run (default 240)")
+	period := fs.Float64("period", 0, "control period in ms (default 10)")
+	guard := fs.Float64("guard", -1, "guard band in °C (default 3)")
+	grid := fs.Int("grid", 32, "thermal grid resolution (NxN)")
+	instr := fs.Int("instr", 0, "per-thread instruction budget (0 = profile default)")
+	quick := fs.Bool("quick", false, "reduced sweep for smoke testing")
+	csvPath := fs.String("csv", "", "also write the table as CSV to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fo := exp.DefaultFaultOptions()
+	o := exp.DefaultOptions()
+	if *quick {
+		fo = exp.QuickFaultOptions()
+		o = exp.QuickOptions()
+	}
+	o.GridRows, o.GridCols = *grid, *grid
+	o.Instructions = *instr
+	kind, err := config.BuildScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	fo.Scheme = kind
+	if *app != "" {
+		fo.App = *app
+	}
+	if *threads > 0 {
+		fo.Threads = *threads
+	}
+	if *rates != "" {
+		fo.DropoutRates = nil
+		for _, s := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v < 0 || v > 1 {
+				return fmt.Errorf("bad dropout rate %q", s)
+			}
+			fo.DropoutRates = append(fo.DropoutRates, v)
+		}
+	}
+	if *seeds > 0 {
+		fo.Seeds = *seeds
+	}
+	if *steps > 0 {
+		fo.Steps = *steps
+	}
+	if *period > 0 {
+		fo.PeriodMs = *period
+	}
+	if *guard >= 0 {
+		fo.GuardC = *guard
+	}
+	r, err := exp.NewRunner(o)
+	if err != nil {
+		return err
+	}
+	_, t, err := r.FaultSweep(context.Background(), fo)
+	if err != nil {
+		return err
+	}
+	t.Fprint(os.Stdout)
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := t.CSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
 	}
 	return nil
 }

@@ -53,24 +53,27 @@ func (c *Controller) Uniform(f float64) []float64 {
 	return out
 }
 
-// MaxUniformFrequency finds the highest DVFS level at which the stack
-// stays within the thermal limits for the given assignment. It returns
-// the frequency and the outcome at that frequency. If even the lowest
-// level violates the limits, it returns the lowest level's outcome with
-// ok=false — a real system would have to throttle below the DVFS floor.
-func (c *Controller) MaxUniformFrequency(st *stack.Stack, assigns []cpusim.Assignment) (f float64, o perf.Outcome, ok bool, err error) {
-	levels := c.DVFS.Levels()
-	best := -1
-	var bestOut perf.Outcome
-	// The hotspot is monotone in frequency, so binary-search the levels.
+// maxLevelRespecting finds the highest entry of levels whose evaluated
+// outcome satisfies ok. It binary-searches under the usual assumption
+// that ok is monotone in frequency (higher frequency ⇒ hotter ⇒ once a
+// level violates, every level above it does too), then verifies the
+// assumption instead of trusting it: the chosen level's outcome must
+// satisfy ok, and the next level up (when one exists) must violate it.
+// Temperature-dependent leakage couples power to its own thermal
+// outcome, which can in principle make the response non-monotone; when
+// the probe detects that, the search falls back to a linear scan from
+// the top, which needs no assumption. Returns best = -1 when no level
+// satisfies ok.
+func maxLevelRespecting(levels []float64, eval func(f float64) (perf.Outcome, error), ok func(perf.Outcome) bool) (best int, bestOut perf.Outcome, err error) {
+	best = -1
 	lo, hi := 0, len(levels)-1
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		out, evalErr := c.Ev.Evaluate(st, c.Uniform(levels[mid]), assigns)
-		if evalErr != nil {
-			return 0, perf.Outcome{}, false, evalErr
+		out, err := eval(levels[mid])
+		if err != nil {
+			return 0, perf.Outcome{}, err
 		}
-		if c.Limits.Respects(out) {
+		if ok(out) {
 			best, bestOut = mid, out
 			lo = mid + 1
 		} else {
@@ -78,7 +81,49 @@ func (c *Controller) MaxUniformFrequency(st *stack.Stack, assigns []cpusim.Assig
 		}
 	}
 	if best < 0 {
-		out, evalErr := c.Ev.Evaluate(st, c.Uniform(levels[0]), assigns)
+		return -1, perf.Outcome{}, nil
+	}
+	monotone := ok(bestOut)
+	if monotone && best+1 < len(levels) {
+		probe, err := eval(levels[best+1])
+		if err != nil {
+			return 0, perf.Outcome{}, err
+		}
+		if ok(probe) {
+			monotone = false
+		}
+	}
+	if monotone {
+		return best, bestOut, nil
+	}
+	for i := len(levels) - 1; i >= 0; i-- {
+		out, err := eval(levels[i])
+		if err != nil {
+			return 0, perf.Outcome{}, err
+		}
+		if ok(out) {
+			return i, out, nil
+		}
+	}
+	return -1, perf.Outcome{}, nil
+}
+
+// MaxUniformFrequency finds the highest DVFS level at which the stack
+// stays within the thermal limits for the given assignment. It returns
+// the frequency and the outcome at that frequency. If even the lowest
+// level violates the limits, it returns the lowest level's outcome with
+// ok=false — a real system would have to throttle below the DVFS floor.
+func (c *Controller) MaxUniformFrequency(st *stack.Stack, assigns []cpusim.Assignment) (f float64, o perf.Outcome, ok bool, err error) {
+	levels := c.DVFS.Levels()
+	eval := func(f float64) (perf.Outcome, error) {
+		return c.Ev.Evaluate(st, c.Uniform(f), assigns)
+	}
+	best, bestOut, err := maxLevelRespecting(levels, eval, c.Limits.Respects)
+	if err != nil {
+		return 0, perf.Outcome{}, false, err
+	}
+	if best < 0 {
+		out, evalErr := eval(levels[0])
 		if evalErr != nil {
 			return 0, perf.Outcome{}, false, evalErr
 		}
@@ -94,26 +139,19 @@ func (c *Controller) MaxUniformFrequency(st *stack.Stack, assigns []cpusim.Assig
 // it".
 func (c *Controller) MaxFrequencyBelowTemp(st *stack.Stack, assigns []cpusim.Assignment, refC float64) (float64, perf.Outcome, error) {
 	levels := c.DVFS.Levels()
-	best := -1
-	var bestOut perf.Outcome
-	lo, hi := 0, len(levels)-1
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		out, err := c.Ev.Evaluate(st, c.Uniform(levels[mid]), assigns)
-		if err != nil {
-			return 0, perf.Outcome{}, err
-		}
-		if out.ProcHotC <= refC {
-			best, bestOut = mid, out
-			lo = mid + 1
-		} else {
-			hi = mid - 1
-		}
+	eval := func(f float64) (perf.Outcome, error) {
+		return c.Ev.Evaluate(st, c.Uniform(f), assigns)
+	}
+	best, bestOut, err := maxLevelRespecting(levels, eval, func(o perf.Outcome) bool {
+		return o.ProcHotC <= refC
+	})
+	if err != nil {
+		return 0, perf.Outcome{}, err
 	}
 	if best < 0 {
 		// Even the floor frequency exceeds the reference; report the
 		// floor (the boost is then zero or negative).
-		out, err := c.Ev.Evaluate(st, c.Uniform(levels[0]), assigns)
+		out, err := eval(levels[0])
 		return levels[0], out, err
 	}
 	return levels[best], bestOut, nil

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestFaultSweepQuick(t *testing.T) {
+	r := quickRunner(t)
+	fo := QuickFaultOptions()
+	fo.Steps = 15
+	fo.Seeds = 2
+	fo.DropoutRates = []float64{0, 0.05}
+
+	rows, tab, err := r.FaultSweep(context.Background(), fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows for 2 rates", len(rows))
+	}
+	for i, row := range rows {
+		if row.OracleGHz < 2.4 || row.OracleGHz > 3.5 {
+			t.Errorf("row %d: oracle %.2f GHz outside the DVFS range", i, row.OracleGHz)
+		}
+		if row.GuardedGHz < 2.4 || row.GuardedGHz > 3.5 {
+			t.Errorf("row %d: guarded %.2f GHz outside the DVFS range", i, row.GuardedGHz)
+		}
+		if row.GuardedViolSeeds != 0 {
+			t.Errorf("row %d: guarded controller violated in %d seeds", i, row.GuardedViolSeeds)
+		}
+	}
+	if rows[0].DropoutRate != 0 || rows[1].DropoutRate != 0.05 {
+		t.Errorf("rates not preserved: %+v", rows)
+	}
+	if len(tab.Rows) != 2 || len(tab.Header) == 0 || !strings.Contains(tab.Title, "Fault sweep") {
+		t.Errorf("table malformed: %+v", tab)
+	}
+
+	// Cancellation propagates out of the sweep.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := r.FaultSweep(ctx, fo); err == nil {
+		t.Error("cancelled sweep returned no error")
+	}
+}

@@ -1,0 +1,165 @@
+package fault
+
+// Config parameterises an Injector. The zero value injects nothing: a
+// pipeline wired through a zero-config Injector is bit-for-bit identical
+// to the unwired pipeline (asserted by tests), so fault wiring can stay
+// in place permanently.
+//
+// All rates are probabilities in [0, 1]; all temperatures are in °C.
+type Config struct {
+	// Seed selects the deterministic fault sequence. Two injectors with
+	// the same config produce identical faults.
+	Seed uint64
+
+	// Sensor faults, applied per (site, control interval):
+	//
+	// SensorNoiseSigmaC is the σ of additive Gaussian read noise.
+	SensorNoiseSigmaC float64
+	// SensorQuantC is the quantisation step of the sensor ADC (readings
+	// are rounded to multiples of it; 0 disables).
+	SensorQuantC float64
+	// SensorStuckRate is the per-site probability that a sensor is
+	// permanently stuck at its first reading.
+	SensorStuckRate float64
+	// SensorDropoutRate is the per-read probability that a sensor
+	// returns no data for the interval.
+	SensorDropoutRate float64
+
+	// Power-trace faults, applied per pipeline step:
+	//
+	// PowerSpikeRate is the probability that a step's power map carries
+	// a transient spike over a contiguous cell window.
+	PowerSpikeRate float64
+	// PowerSpikeFactor multiplies the affected cells (default 3).
+	PowerSpikeFactor float64
+	// PowerStuckRate is the probability that the power trace freezes —
+	// the map seen at that step is replayed for PowerStuckSteps steps
+	// (a stuck block in the trace reader).
+	PowerStuckRate float64
+	// PowerStuckSteps is the length of a stuck window (default 3).
+	PowerStuckSteps int
+
+	// Solver faults, applied per linear solve:
+	//
+	// SolverBudgetRate is the probability that a solve's iteration
+	// budget collapses to SolverBudgetIters (default 4), forcing an
+	// ErrBudget failure on any non-trivial system.
+	SolverBudgetRate  float64
+	SolverBudgetIters int
+	// SolverDivergeRate is the probability that a solve fails
+	// immediately with an injected ErrDiverged.
+	SolverDivergeRate float64
+}
+
+// Zero reports whether the config injects nothing at all.
+func (c Config) Zero() bool {
+	return c.SensorNoiseSigmaC == 0 && c.SensorQuantC == 0 &&
+		c.SensorStuckRate == 0 && c.SensorDropoutRate == 0 &&
+		c.PowerSpikeRate == 0 && c.PowerStuckRate == 0 &&
+		c.SolverBudgetRate == 0 && c.SolverDivergeRate == 0
+}
+
+// withDefaults fills the magnitude fields that only matter when their
+// rate is non-zero.
+func (c Config) withDefaults() Config {
+	if c.PowerSpikeFactor == 0 {
+		c.PowerSpikeFactor = 3
+	}
+	if c.PowerStuckSteps <= 0 {
+		c.PowerStuckSteps = 3
+	}
+	if c.SolverBudgetIters <= 0 {
+		c.SolverBudgetIters = 4
+	}
+	return c
+}
+
+// Injector draws deterministic faults for one simulation run. It is not
+// safe for concurrent use; each run owns its injector.
+type Injector struct {
+	cfg Config
+
+	powerStep  uint64
+	solve      uint64
+	stuckUntil uint64
+	stuckMap   [][]float64
+}
+
+// New builds an injector. New(Config{}) is a valid no-op injector.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg.withDefaults()}
+}
+
+// Config returns the (default-filled) configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// PerturbPower returns the power map the pipeline should see for the
+// next step. With no power faults configured (or a nil injector) it
+// returns pm itself — same backing arrays, zero cost; when a fault fires
+// it returns a perturbed deep copy, never mutating pm.
+func (in *Injector) PerturbPower(pm [][]float64) [][]float64 {
+	if in == nil {
+		return pm
+	}
+	step := in.powerStep
+	in.powerStep++
+	if in.cfg.PowerSpikeRate == 0 && in.cfg.PowerStuckRate == 0 {
+		return pm
+	}
+	// A stuck window replays the frozen map, ignoring the live trace.
+	if in.stuckMap != nil && step < in.stuckUntil {
+		return in.stuckMap
+	}
+	in.stuckMap = nil
+	seed := in.cfg.Seed
+	if unit(hash(seed, streamPowerStuck, step, 0)) < in.cfg.PowerStuckRate {
+		in.stuckMap = deepCopy(pm)
+		in.stuckUntil = step + uint64(in.cfg.PowerStuckSteps)
+		return in.stuckMap
+	}
+	if unit(hash(seed, streamPowerSpike, step, 0)) < in.cfg.PowerSpikeRate {
+		out := deepCopy(pm)
+		h := hash(seed, streamPowerSpikeSite, step, 0)
+		li := int(h % uint64(len(out)))
+		cells := out[li]
+		if len(cells) > 0 {
+			start := int((h >> 20) % uint64(len(cells)))
+			span := len(cells)/8 + 1
+			for k := 0; k < span; k++ {
+				cells[(start+k)%len(cells)] *= in.cfg.PowerSpikeFactor
+			}
+		}
+		return out
+	}
+	return pm
+}
+
+// SolveFault is consulted once per linear solve (the thermal solver's
+// pre-solve hook). It returns a collapsed iteration budget (0 = leave
+// the solver's own budget in place) and/or an injected failure.
+func (in *Injector) SolveFault() (maxIter int, err error) {
+	if in == nil {
+		return 0, nil
+	}
+	solve := in.solve
+	in.solve++
+	if in.cfg.SolverDivergeRate == 0 && in.cfg.SolverBudgetRate == 0 {
+		return 0, nil
+	}
+	seed := in.cfg.Seed
+	if unit(hash(seed, streamSolverDiverge, solve, 0)) < in.cfg.SolverDivergeRate {
+		return 0, &DivergenceError{Injected: true, Detail: "injected by fault.Injector"}
+	}
+	if unit(hash(seed, streamSolverBudget, solve, 0)) < in.cfg.SolverBudgetRate {
+		return in.cfg.SolverBudgetIters, nil
+	}
+	return 0, nil
+}
+
+func deepCopy(pm [][]float64) [][]float64 {
+	out := make([][]float64, len(pm))
+	for i := range pm {
+		out[i] = append([]float64(nil), pm[i]...)
+	}
+	return out
+}

@@ -7,11 +7,14 @@
 package perf
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 
 	"github.com/xylem-sim/xylem/internal/cpusim"
+	"github.com/xylem-sim/xylem/internal/fault"
 	"github.com/xylem-sim/xylem/internal/geom"
 	"github.com/xylem-sim/xylem/internal/power"
 	"github.com/xylem-sim/xylem/internal/stack"
@@ -31,6 +34,19 @@ type Evaluator struct {
 	// ConvergeC is the hotspot convergence threshold in °C.
 	ConvergeC float64
 
+	// SolveRetries is how many times a diverged or budget-exhausted
+	// steady-state solve is retried with the tolerance relaxed by
+	// RelaxFactor per attempt (graceful degradation instead of a failed
+	// experiment; 0 disables the fallback path). A successful retry
+	// increments DegradedSolves so callers can report that the outcome
+	// rests on a relaxed solve.
+	SolveRetries int
+	// RelaxFactor is the per-retry tolerance multiplier (default 100).
+	RelaxFactor float64
+	// DegradedSolves counts solves that only succeeded at relaxed
+	// tolerance.
+	DegradedSolves int
+
 	activityCache map[string]cpusim.Result
 	solverCache   map[*stack.Stack]*thermal.Solver
 }
@@ -42,6 +58,8 @@ func NewEvaluator() *Evaluator {
 		Power:         power.DefaultModel(),
 		LeakageIters:  4,
 		ConvergeC:     0.05,
+		SolveRetries:  1,
+		RelaxFactor:   100,
 		activityCache: make(map[string]cpusim.Result),
 		solverCache:   make(map[*stack.Stack]*thermal.Solver),
 	}
@@ -150,19 +168,71 @@ func (e *Evaluator) solver(st *stack.Stack) (*thermal.Solver, error) {
 	return s, nil
 }
 
+// SolverFor exposes the cached solver for a stack, building it if
+// needed. Fault-injection experiments use this to install a solve hook
+// on exactly the solver the evaluation pipeline will use.
+func (e *Evaluator) SolverFor(st *stack.Stack) (*thermal.Solver, error) {
+	return e.solver(st)
+}
+
+// steadyState runs one steady-state solve with the evaluator's
+// degradation policy: a solve that diverges or runs out of budget is
+// retried up to SolveRetries times with the CG tolerance relaxed by
+// RelaxFactor per attempt, then the original tolerance is restored. Any
+// other failure (bad power, cancellation) propagates immediately.
+func (e *Evaluator) steadyState(ctx context.Context, solver *thermal.Solver, pm thermal.PowerMap) (thermal.Temperature, error) {
+	t, err := solver.SteadyStateCtx(ctx, pm)
+	if err == nil {
+		return t, nil
+	}
+	if e.SolveRetries <= 0 || (!errors.Is(err, fault.ErrDiverged) && !errors.Is(err, fault.ErrBudget)) {
+		return nil, err
+	}
+	relax := e.RelaxFactor
+	if relax <= 1 {
+		relax = 100
+	}
+	orig := solver.Tol
+	defer func() { solver.Tol = orig }()
+	for r := 1; r <= e.SolveRetries; r++ {
+		solver.Tol = orig * math.Pow(relax, float64(r))
+		t, retryErr := solver.SteadyStateCtx(ctx, pm)
+		if retryErr == nil {
+			e.DegradedSolves++
+			return t, nil
+		}
+		err = retryErr
+		if !errors.Is(err, fault.ErrDiverged) && !errors.Is(err, fault.ErrBudget) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("perf: steady-state solve failed after %d relaxed-tolerance retries: %w", e.SolveRetries, err)
+}
+
 // Evaluate computes the steady-state thermal outcome of running the given
 // assignment at the given per-core frequencies on the given stack.
 func (e *Evaluator) Evaluate(st *stack.Stack, freqs []float64, assigns []cpusim.Assignment) (Outcome, error) {
+	return e.EvaluateCtx(context.Background(), st, freqs, assigns)
+}
+
+// EvaluateCtx is Evaluate with cancellation threaded through the thermal
+// solves.
+func (e *Evaluator) EvaluateCtx(ctx context.Context, st *stack.Stack, freqs []float64, assigns []cpusim.Assignment) (Outcome, error) {
 	res, err := e.Activity(st.Cfg.NumDRAMDies, freqs, assigns)
 	if err != nil {
 		return Outcome{}, err
 	}
-	return e.Thermal(st, freqs, res)
+	return e.ThermalCtx(ctx, st, freqs, res)
 }
 
 // Thermal runs the power/thermal fixed point for an existing activity
 // result.
 func (e *Evaluator) Thermal(st *stack.Stack, freqs []float64, res cpusim.Result) (Outcome, error) {
+	return e.ThermalCtx(context.Background(), st, freqs, res)
+}
+
+// ThermalCtx is Thermal with cancellation threaded through the solves.
+func (e *Evaluator) ThermalCtx(ctx context.Context, st *stack.Stack, freqs []float64, res cpusim.Result) (Outcome, error) {
 	if res.TimeNs <= 0 {
 		return Outcome{}, fmt.Errorf("perf: activity has zero duration")
 	}
@@ -198,7 +268,7 @@ func (e *Evaluator) Thermal(st *stack.Stack, freqs []float64, res cpusim.Result)
 		if err != nil {
 			return Outcome{}, err
 		}
-		temps, err = solver.SteadyState(pm)
+		temps, err = e.steadyState(ctx, solver, pm)
 		if err != nil {
 			return Outcome{}, err
 		}

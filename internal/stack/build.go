@@ -140,6 +140,15 @@ func BuildWith(cfg Config, scheme Scheme, proc, dram *floorplan.Floorplan, sg fl
 			proc.Width/geom.Millimetre, proc.Height/geom.Millimetre,
 			dram.Width/geom.Millimetre, dram.Height/geom.Millimetre)
 	}
+	// Grid parameters come straight from user flags / config files, so
+	// reject them here with an error; geom.NewGrid's panic is only a
+	// backstop against programmer error.
+	if cfg.GridRows < 1 || cfg.GridCols < 1 {
+		return nil, fmt.Errorf("stack: invalid thermal grid %dx%d (need at least 1x1)", cfg.GridRows, cfg.GridCols)
+	}
+	if !(proc.Width > 0) || !(proc.Height > 0) {
+		return nil, fmt.Errorf("stack: invalid die footprint %g x %g m", proc.Width, proc.Height)
+	}
 	grid := geom.NewGrid(cfg.GridRows, cfg.GridCols, proc.Width, proc.Height)
 
 	st := &Stack{Cfg: cfg, Scheme: scheme, Proc: proc, DRAM: dram, Geom: sg}

@@ -6,6 +6,7 @@ package stack
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/xylem-sim/xylem/internal/floorplan"
 	"github.com/xylem-sim/xylem/internal/geom"
@@ -77,6 +78,38 @@ func DefaultTTSVSpec() TTSVSpec {
 	}
 }
 
+// Validate checks the spec's physical parameters. BuildScheme calls it,
+// so an impossible TTSV (zero-size, non-positive conductivity) coming in
+// from a config file or test surfaces as an error rather than as a
+// panic deep inside the material helpers or as a silently singular
+// thermal model.
+func (t TTSVSpec) Validate() error {
+	check := func(name string, v float64, allowZero bool) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || (!allowZero && v == 0) {
+			return fmt.Errorf("stack: TTSV spec: %s = %g is not a positive finite value", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name      string
+		v         float64
+		allowZero bool
+	}{
+		{"Side", t.Side, false},
+		{"KOZ", t.KOZ, true},
+		{"Lambda", t.Lambda, false},
+		{"BumpThickness", t.BumpThickness, false},
+		{"BumpLambda", t.BumpLambda, false},
+		{"ShortThickness", t.ShortThickness, false},
+		{"ShortLambda", t.ShortLambda, false},
+	} {
+		if err := check(f.name, f.v, f.allowZero); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // AreaWithKOZ returns the die area consumed by one TTSV including its
 // keep-out zone (0.0144 mm² with the defaults).
 func (t TTSVSpec) AreaWithKOZ() float64 {
@@ -132,6 +165,9 @@ func (s Scheme) SiteRects() []geom.Rect {
 // slice geometry and the processor floorplan (needed by banke/isoCount/
 // prior to find the core positions).
 func BuildScheme(kind SchemeKind, spec TTSVSpec, sg floorplan.SliceGeometry, proc *floorplan.Floorplan) (Scheme, error) {
+	if err := spec.Validate(); err != nil {
+		return Scheme{}, err
+	}
 	s := Scheme{Kind: kind, Spec: spec}
 	switch kind {
 	case Base:

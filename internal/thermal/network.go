@@ -1,8 +1,11 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"github.com/xylem-sim/xylem/internal/fault"
 )
 
 // Network is a general thermal RC network: nodes with heat capacities,
@@ -116,6 +119,13 @@ func (n *Network) apply(x, y []float64, shift float64) {
 // SteadyState solves for node temperatures under the given per-node power
 // (W). Nodes absent from the slice (shorter slices are padded) get zero.
 func (n *Network) SteadyState(power []float64) ([]float64, error) {
+	return n.SteadyStateCtx(context.Background(), power)
+}
+
+// SteadyStateCtx is SteadyState with cancellation threaded into the CG
+// loop, and the same NaN/Inf/negative power validation as the grid
+// solver.
+func (n *Network) SteadyStateCtx(ctx context.Context, power []float64) ([]float64, error) {
 	if !n.built {
 		if err := n.build(); err != nil {
 			return nil, err
@@ -124,6 +134,13 @@ func (n *Network) SteadyState(power []float64) ([]float64, error) {
 	nn := len(n.names)
 	if len(power) > nn {
 		return nil, fmt.Errorf("thermal: %d powers for %d nodes", len(power), nn)
+	}
+	for i, w := range power {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("thermal: %w", &fault.BadPowerError{
+				Layer: 0, Cell: i, LayerName: n.names[i], Value: w,
+			})
+		}
 	}
 	b := make([]float64, nn)
 	copy(b, power)
@@ -134,14 +151,14 @@ func (n *Network) SteadyState(power []float64) ([]float64, error) {
 	for i := range x {
 		x[i] = n.Ambient
 	}
-	if err := n.cg(b, x, 0); err != nil {
+	if err := n.cg(ctx, b, x, 0); err != nil {
 		return nil, err
 	}
 	return x, nil
 }
 
 // cg is Jacobi-preconditioned conjugate gradients on the network matrix.
-func (n *Network) cg(b, x []float64, shift float64) error {
+func (n *Network) cg(ctx context.Context, b, x []float64, shift float64) error {
 	nn := len(x)
 	r := make([]float64, nn)
 	z := make([]float64, nn)
@@ -169,11 +186,21 @@ func (n *Network) cg(b, x []float64, shift float64) error {
 	copy(p, z)
 	rz := dot(r, z)
 	const tol = 1e-10
-	for iter := 0; iter < 50000; iter++ {
+	const maxIter = 50000
+	bestRel, bestIter, rel := math.Inf(1), 0, math.Inf(1)
+	for iter := 1; iter <= maxIter; iter++ {
+		if iter%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("thermal: network solve cancelled after %d iterations: %w", iter, err)
+			}
+		}
 		n.apply(p, ap, shift)
 		pap := dot(p, ap)
 		if pap <= 0 {
-			return fmt.Errorf("thermal: network CG breakdown")
+			return fmt.Errorf("thermal: %w", &fault.DivergenceError{
+				Iters: iter, Residual: rel, Best: bestRel, Tol: tol,
+				Detail: fmt.Sprintf("network CG breakdown (pAp=%g)", pap),
+			})
 		}
 		alpha := rz / pap
 		rnorm := 0.0
@@ -182,8 +209,19 @@ func (n *Network) cg(b, x []float64, shift float64) error {
 			r[i] -= alpha * ap[i]
 			rnorm += r[i] * r[i]
 		}
+		// The convergence test keeps the seed's exact floating-point
+		// form; rel is derived only for diagnostics.
+		rel = math.Sqrt(rnorm) / bnorm
 		if math.Sqrt(rnorm) <= tol*bnorm {
 			return nil
+		}
+		if rel < bestRel {
+			bestRel, bestIter = rel, iter
+		} else if rel > divergeGrowth*bestRel || iter-bestIter > stagnationWindow {
+			return fmt.Errorf("thermal: %w", &fault.DivergenceError{
+				Iters: iter, Residual: rel, Best: bestRel, Tol: tol,
+				Detail: "network CG residual stopped improving",
+			})
 		}
 		pre()
 		rzNew := dot(r, z)
@@ -193,7 +231,9 @@ func (n *Network) cg(b, x []float64, shift float64) error {
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return fmt.Errorf("thermal: network CG did not converge")
+	return fmt.Errorf("thermal: %w", &fault.BudgetError{
+		Iters: maxIter, MaxIters: maxIter, Residual: rel, Tol: tol,
+	})
 }
 
 // AmbientFlow returns total heat leaving the network to ambient for a

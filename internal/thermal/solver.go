@@ -1,9 +1,20 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
+
+	"github.com/xylem-sim/xylem/internal/fault"
 )
+
+// SolveHook is consulted at the start of every linear solve. It can
+// collapse the iteration budget (maxIter > 0 overrides the solver's own,
+// when smaller) or fail the solve outright (err != nil) — the interface
+// the fault injector uses to model numerically failing solves.
+// fault.(*Injector).SolveFault satisfies this signature.
+type SolveHook func() (maxIter int, err error)
 
 // Solver assembles the conductance network for a Model once and then
 // answers steady-state and transient queries against it. Building a
@@ -40,8 +51,22 @@ type Solver struct {
 
 	// Tol is the relative-residual convergence tolerance for CG.
 	Tol float64
-	// MaxIter bounds CG iterations per solve.
+	// MaxIter bounds CG iterations per solve; exhausting it returns an
+	// error satisfying errors.Is(err, fault.ErrBudget).
 	MaxIter int
+	// MaxTime, when non-zero, bounds the wall-clock time of one solve
+	// (checked every few iterations); exhausting it is also an
+	// fault.ErrBudget failure.
+	MaxTime time.Duration
+	// Hook, when non-nil, is consulted at the start of every solve (see
+	// SolveHook). The fault injector installs itself here.
+	Hook SolveHook
+
+	// LastIters and LastResidual report the iteration count and final
+	// relative residual of the most recent solve (including failed
+	// ones), for diagnostics and degradation reporting.
+	LastIters    int
+	LastResidual float64
 }
 
 // NewSolver assembles the network. The model must Validate cleanly.
@@ -185,10 +210,43 @@ func (s *Solver) apply(x, y []float64, shift float64) {
 	}
 }
 
+// Divergence detection thresholds for the CG loops. On an SPD system the
+// preconditioned residual is near-monotone; a residual that grows by
+// divergeGrowth over the best seen, or fails to improve on the best for
+// stagnationWindow iterations, marks a solve that will never converge
+// (broken matrix, fault injection, accumulated round-off).
+const (
+	divergeGrowth    = 1e6
+	stagnationWindow = 2000
+	// checkEvery paces the cancellation/time-budget checks so the hot
+	// loop stays branch-cheap.
+	checkEvery = 64
+)
+
 // cg solves (G + shift·C)·x = b in place, starting from the current
 // contents of x (a warm start), using Jacobi-preconditioned conjugate
-// gradients. It returns the iteration count.
-func (s *Solver) cg(b, x []float64, shift float64) (int, error) {
+// gradients. It returns the iteration count. Failures carry the fault
+// taxonomy: errors.Is(err, fault.ErrDiverged) for breakdown, divergence
+// or stagnation; fault.ErrBudget for iteration/time-budget exhaustion;
+// ctx errors for cancellation.
+func (s *Solver) cg(ctx context.Context, b, x []float64, shift float64) (int, error) {
+	maxIter, injected := s.MaxIter, false
+	if s.Hook != nil {
+		mi, err := s.Hook()
+		if err != nil {
+			return 0, fmt.Errorf("thermal: %w", err)
+		}
+		if mi > 0 && mi < maxIter {
+			maxIter, injected = mi, true
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("thermal: solve cancelled: %w", err)
+	}
+	var start time.Time
+	if s.MaxTime > 0 {
+		start = time.Now()
+	}
 	s.apply(x, s.ap, shift)
 	bnorm := 0.0
 	for i := range b {
@@ -200,6 +258,7 @@ func (s *Solver) cg(b, x []float64, shift float64) (int, error) {
 		for i := range x {
 			x[i] = 0
 		}
+		s.LastIters, s.LastResidual = 0, 0
 		return 0, nil
 	}
 	precond := func(r, z []float64) {
@@ -214,11 +273,31 @@ func (s *Solver) cg(b, x []float64, shift float64) (int, error) {
 	precond(s.r, s.z)
 	copy(s.p, s.z)
 	rz := dot(s.r, s.z)
-	for iter := 1; iter <= s.MaxIter; iter++ {
+	bestRel, bestIter, rel := math.Inf(1), 0, math.Inf(1)
+	for iter := 1; iter <= maxIter; iter++ {
+		if iter%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				s.LastIters, s.LastResidual = iter, rel
+				return iter, fmt.Errorf("thermal: solve cancelled after %d iterations: %w", iter, err)
+			}
+			if s.MaxTime > 0 {
+				if el := time.Since(start); el > s.MaxTime {
+					s.LastIters, s.LastResidual = iter, rel
+					return iter, fmt.Errorf("thermal: %w", &fault.BudgetError{
+						Iters: iter, Elapsed: el, MaxTime: s.MaxTime,
+						Residual: rel, Tol: s.Tol,
+					})
+				}
+			}
+		}
 		s.apply(s.p, s.ap, shift)
 		pap := dot(s.p, s.ap)
 		if pap <= 0 {
-			return iter, fmt.Errorf("thermal: CG breakdown (pAp=%g); matrix not SPD?", pap)
+			s.LastIters, s.LastResidual = iter, rel
+			return iter, fmt.Errorf("thermal: %w", &fault.DivergenceError{
+				Iters: iter, Residual: rel, Best: bestRel, Tol: s.Tol,
+				Detail: fmt.Sprintf("CG breakdown (pAp=%g); matrix not SPD?", pap),
+			})
 		}
 		alpha := rz / pap
 		rnorm := 0.0
@@ -227,8 +306,24 @@ func (s *Solver) cg(b, x []float64, shift float64) (int, error) {
 			s.r[i] -= alpha * s.ap[i]
 			rnorm += s.r[i] * s.r[i]
 		}
+		// The convergence test keeps the seed's exact floating-point
+		// form; rel is derived only for diagnostics.
+		rel = math.Sqrt(rnorm) / bnorm
 		if math.Sqrt(rnorm) <= s.Tol*bnorm {
+			s.LastIters, s.LastResidual = iter, rel
 			return iter, nil
+		}
+		if rel < bestRel {
+			bestRel, bestIter = rel, iter
+		} else if rel > divergeGrowth*bestRel || iter-bestIter > stagnationWindow {
+			s.LastIters, s.LastResidual = iter, rel
+			detail := "residual stagnated"
+			if rel > divergeGrowth*bestRel {
+				detail = "residual grew past divergence threshold"
+			}
+			return iter, fmt.Errorf("thermal: %w", &fault.DivergenceError{
+				Iters: iter, Residual: rel, Best: bestRel, Tol: s.Tol, Detail: detail,
+			})
 		}
 		precond(s.r, s.z)
 		rzNew := dot(s.r, s.z)
@@ -238,7 +333,10 @@ func (s *Solver) cg(b, x []float64, shift float64) (int, error) {
 			s.p[i] = s.z[i] + beta*s.p[i]
 		}
 	}
-	return s.MaxIter, fmt.Errorf("thermal: CG did not converge in %d iterations", s.MaxIter)
+	s.LastIters, s.LastResidual = maxIter, rel
+	return maxIter, fmt.Errorf("thermal: %w", &fault.BudgetError{
+		Iters: maxIter, MaxIters: maxIter, Residual: rel, Tol: s.Tol, Injected: injected,
+	})
 }
 
 func dot(a, b []float64) float64 {
@@ -249,17 +347,43 @@ func dot(a, b []float64) float64 {
 	return s
 }
 
+// validatePower checks the map's shape and rejects NaN, Inf and negative
+// cell powers with an error naming the layer and cell
+// (errors.Is(err, fault.ErrBadPower)).
+func (s *Solver) validatePower(power PowerMap) error {
+	if len(power) != len(s.m.Layers) {
+		return fmt.Errorf("thermal: power map has %d layers, model has %d", len(power), len(s.m.Layers))
+	}
+	for li, lp := range power {
+		if len(lp) != s.nPerLayer {
+			return fmt.Errorf("thermal: power layer %d has %d cells, want %d", li, len(lp), s.nPerLayer)
+		}
+		for c, w := range lp {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return fmt.Errorf("thermal: %w", &fault.BadPowerError{
+					Layer: li, Cell: c, LayerName: s.m.Layers[li].Name, Value: w,
+				})
+			}
+		}
+	}
+	return nil
+}
+
 // SteadyState solves G·T = P + G_amb·T_amb and returns the temperature
 // field in °C. The power map must have the model's shape.
 func (s *Solver) SteadyState(power PowerMap) (Temperature, error) {
-	if len(power) != len(s.m.Layers) {
-		return nil, fmt.Errorf("thermal: power map has %d layers, model has %d", len(power), len(s.m.Layers))
+	return s.SteadyStateCtx(context.Background(), power)
+}
+
+// SteadyStateCtx is SteadyState with cancellation: the CG loop polls ctx
+// and aborts with its error (wrapped, so errors.Is(err, context.Canceled)
+// holds) when it is cancelled or its deadline passes.
+func (s *Solver) SteadyStateCtx(ctx context.Context, power PowerMap) (Temperature, error) {
+	if err := s.validatePower(power); err != nil {
+		return nil, err
 	}
 	b := make([]float64, s.n)
 	for li, lp := range power {
-		if len(lp) != s.nPerLayer {
-			return nil, fmt.Errorf("thermal: power layer %d has %d cells, want %d", li, len(lp), s.nPerLayer)
-		}
 		for c, w := range lp {
 			b[s.idx(li, c)] = w
 		}
@@ -273,7 +397,7 @@ func (s *Solver) SteadyState(power PowerMap) (Temperature, error) {
 	for i := range x {
 		x[i] = s.m.Ambient // warm start at ambient
 	}
-	if _, err := s.cg(b, x, 0); err != nil {
+	if _, err := s.cg(ctx, b, x, 0); err != nil {
 		return nil, err
 	}
 	return s.fieldFromVector(x), nil

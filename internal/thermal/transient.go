@@ -1,6 +1,9 @@
 package thermal
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // TransientState carries a temperature field being advanced in time.
 type TransientState struct {
@@ -40,19 +43,23 @@ func (s *Solver) NewTransientAmbient() *TransientState {
 // interval (milliseconds) even though the thin metal layers have
 // microsecond RC constants.
 func (ts *TransientState) Step(power PowerMap, dt float64) error {
+	return ts.StepCtx(context.Background(), power, dt)
+}
+
+// StepCtx is Step with cancellation threaded into the inner linear
+// solve. A cancelled step leaves the field at its pre-step values and
+// does not advance Time.
+func (ts *TransientState) StepCtx(ctx context.Context, power PowerMap, dt float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("thermal: non-positive time step %g", dt)
 	}
 	s := ts.s
-	if len(power) != len(s.m.Layers) {
-		return fmt.Errorf("thermal: power map has %d layers, model has %d", len(power), len(s.m.Layers))
+	if err := s.validatePower(power); err != nil {
+		return err
 	}
 	b := make([]float64, s.n)
 	inv := 1 / dt
 	for li, lp := range power {
-		if len(lp) != s.nPerLayer {
-			return fmt.Errorf("thermal: power layer %d has %d cells, want %d", li, len(lp), s.nPerLayer)
-		}
 		base := li * s.nPerLayer
 		for c, w := range lp {
 			i := base + c
@@ -65,8 +72,12 @@ func (ts *TransientState) Step(power PowerMap, dt float64) error {
 		}
 	}
 	// Warm start from the current field: for small dt the solution is
-	// close, so CG converges in a handful of iterations.
-	if _, err := s.cg(b, ts.x, inv); err != nil {
+	// close, so CG converges in a handful of iterations. A failed solve
+	// may have scribbled on the warm-start vector, so snapshot it and
+	// roll back on error — a degraded pipeline keeps a valid field.
+	prev := append([]float64(nil), ts.x...)
+	if _, err := s.cg(ctx, b, ts.x, inv); err != nil {
+		copy(ts.x, prev)
 		return err
 	}
 	ts.Time += dt
@@ -76,8 +87,14 @@ func (ts *TransientState) Step(power PowerMap, dt float64) error {
 // Run advances the field through n equal steps of dt seconds each,
 // invoking observe (if non-nil) after every step with the elapsed time.
 func (ts *TransientState) Run(power PowerMap, dt float64, n int, observe func(time float64, t Temperature)) error {
+	return ts.RunCtx(context.Background(), power, dt, n, observe)
+}
+
+// RunCtx is Run with cancellation checked before every step and threaded
+// into each inner solve.
+func (ts *TransientState) RunCtx(ctx context.Context, power PowerMap, dt float64, n int, observe func(time float64, t Temperature)) error {
 	for i := 0; i < n; i++ {
-		if err := ts.Step(power, dt); err != nil {
+		if err := ts.StepCtx(ctx, power, dt); err != nil {
 			return err
 		}
 		if observe != nil {

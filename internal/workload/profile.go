@@ -15,6 +15,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Class is a coarse thermal classification used by the λ-aware thread
@@ -203,16 +204,30 @@ var profiles = []Profile{
 		Locality: 0.93, L2Resident: 0.60, DepLoadFrac: 0.60, MLP: 4, Instructions: defaultInstr},
 }
 
-var byName = func() map[string]Profile {
-	m := make(map[string]Profile, len(profiles))
-	for _, p := range profiles {
-		if err := p.Validate(); err != nil {
-			panic(err)
+// The name index is built lazily so that a malformed entry in the
+// profile table surfaces as an error from ByName instead of a panic at
+// package init (which would crash every importer, including the CLI,
+// before it could print anything).
+var (
+	byNameOnce sync.Once
+	byNameMap  map[string]Profile
+	byNameErr  error
+)
+
+func index() (map[string]Profile, error) {
+	byNameOnce.Do(func() {
+		m := make(map[string]Profile, len(profiles))
+		for _, p := range profiles {
+			if err := p.Validate(); err != nil {
+				byNameErr = fmt.Errorf("workload: built-in profile %q: %w", p.Name, err)
+				return
+			}
+			m[p.Name] = p
 		}
-		m[p.Name] = p
-	}
-	return m
-}()
+		byNameMap = m
+	})
+	return byNameMap, byNameErr
+}
 
 // All returns every application profile in the paper's presentation order
 // (SPLASH-2, then PARSEC, then NPB — the order of Fig. 7's x-axis).
@@ -231,9 +246,13 @@ func Names() []string {
 	return out
 }
 
-// ByName looks up a profile.
+// ByName looks up a profile, validating the built-in table on first use.
 func ByName(name string) (Profile, error) {
-	p, ok := byName[name]
+	m, err := index()
+	if err != nil {
+		return Profile{}, err
+	}
+	p, ok := m[name]
 	if !ok {
 		known := Names()
 		sort.Strings(known)
@@ -242,9 +261,21 @@ func ByName(name string) (Profile, error) {
 	return p, nil
 }
 
+// rawByName reads the static table directly; it is used by the fixed
+// convenience accessors below, whose names are compile-time constants,
+// so it cannot miss (and needs no validation pass).
+func rawByName(name string) Profile {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p
+		}
+	}
+	return Profile{}
+}
+
 // MostComputeBound returns the profile the paper uses as the thermally
 // demanding thread-placement workload (LU from NAS).
-func MostComputeBound() Profile { return byName["lu-nas"] }
+func MostComputeBound() Profile { return rawByName("lu-nas") }
 
 // MostMemoryBound returns the paper's memory-intensive counterpart (IS).
-func MostMemoryBound() Profile { return byName["is"] }
+func MostMemoryBound() Profile { return rawByName("is") }
