@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-fast vet race bench bench-full figures faults-smoke examples clean
+.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel figures faults-smoke examples clean
 
 all: build vet test
 
@@ -13,9 +13,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Full gate: vet plus the race-instrumented test suite.
+# Full gate: vet plus the race-instrumented test suite. The explicit
+# timeout covers the detector's ~10-20x slowdown on the sweep tests.
 test: vet
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Plain test run without race instrumentation (tier-1 equivalent).
 test-fast:
@@ -33,6 +34,15 @@ bench:
 # Paper-scale figures (32x32 grid, 400k-instruction traces; ~1 h).
 bench-full:
 	XYLEM_BENCH_FULL=1 $(GO) test -bench=. -benchmem -benchtime=1x -run XXX -timeout 0 . | tee bench_output_full.txt
+
+# CI smoke: one reduced-scale pass of the solver micro-benchmark and one
+# figure benchmark (-short switches the harness to the quick test scale).
+bench-smoke:
+	$(GO) test -short -bench 'BenchmarkThermalSteadyState|BenchmarkFig08TemperatureReduction' -benchtime=1x -run XXX -timeout 20m .
+
+# Serial vs parallel vs warm-started Figure 7 timing; writes BENCH_parallel.json.
+bench-parallel:
+	$(GO) run ./cmd/xylem parbench -grid 24 -apps lu-nas,fft,is,radix,mg
 
 # Individual figures through the CLI, e.g. `make figures FIG=8`.
 FIG ?= 8

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -37,6 +38,11 @@ var (
 )
 
 func benchOptions() exp.Options {
+	if testing.Short() {
+		// `make bench-smoke` scale: the same reduced configuration the
+		// tier-1 tests use, so CI can afford one pass of each figure.
+		return exp.QuickOptions()
+	}
 	o := exp.DefaultOptions()
 	if os.Getenv("XYLEM_BENCH_FULL") == "" {
 		o.GridRows, o.GridCols = 24, 24
@@ -292,25 +298,44 @@ func BenchmarkFig19MemoryDies(b *testing.B) {
 // Substrate micro-benchmarks.
 
 // BenchmarkThermalSteadyState measures one steady-state solve of the full
-// 8-die stack model at the evaluation grid.
+// 8-die stack model, serial vs parallel CG kernels. The 24×24 grid sits
+// below the parallel threshold (the workers sub-benchmarks must tie);
+// the 64×64 grid is where the chunked kernels earn their keep.
 func BenchmarkThermalSteadyState(b *testing.B) {
-	cfg := stack.DefaultConfig()
-	st, err := stack.Build(cfg, stack.BankE)
-	if err != nil {
-		b.Fatal(err)
+	grids := []int{24, 64}
+	if testing.Short() {
+		grids = []int{24}
 	}
-	solver, err := thermal.NewSolver(st.Model)
-	if err != nil {
-		b.Fatal(err)
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
 	}
-	pm := st.Model.NewPowerMap()
-	for c := 0; c < 8; c++ {
-		pm.AddBlock(st.Model.Grid, st.ProcMetalLayer, st.Proc.CoreRect(c), 2)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := solver.SteadyState(pm); err != nil {
-			b.Fatal(err)
+	for _, n := range grids {
+		for _, workers := range workerCounts {
+			b.Run(fmt.Sprintf("grid%d/workers%d", n, workers), func(b *testing.B) {
+				cfg := stack.DefaultConfig()
+				cfg.GridRows, cfg.GridCols = n, n
+				st, err := stack.Build(cfg, stack.BankE)
+				if err != nil {
+					b.Fatal(err)
+				}
+				solver, err := thermal.NewSolver(st.Model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				solver.Workers = workers
+				defer solver.Close()
+				pm := st.Model.NewPowerMap()
+				for c := 0; c < 8; c++ {
+					pm.AddBlock(st.Model.Grid, st.ProcMetalLayer, st.Proc.CoreRect(c), 2)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := solver.SteadyState(pm); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -57,6 +57,8 @@ func main() {
 		err = cmdTrace(args)
 	case "faults":
 		err = cmdFaults(args)
+	case "parbench":
+		err = cmdParbench(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -77,25 +79,28 @@ func usage() {
   floorplan  dump die floorplans
   heatmap    render the processor-die temperature field
   trace      record a synthetic workload trace to a portable file
-  faults     sensor/power fault-injection sweep of the guarded DTM`)
+  faults     sensor/power fault-injection sweep of the guarded DTM
+  parbench   time the Figure 7 sweep serial vs parallel vs warm-started`)
 }
 
 // optFlags registers the shared experiment flags on a FlagSet.
-func optFlags(fs *flag.FlagSet) (apps *string, grid, instr *int, freqs *string) {
+func optFlags(fs *flag.FlagSet) (apps *string, grid, instr, workers *int, freqs *string) {
 	apps = fs.String("apps", "", "comma-separated application subset (default: all 17)")
 	grid = fs.Int("grid", 32, "thermal grid resolution (NxN)")
 	instr = fs.Int("instr", 0, "per-thread instruction budget (0 = profile default)")
+	workers = fs.Int("workers", 0, "concurrent experiment points (0 = all CPUs, 1 = serial)")
 	freqs = fs.String("freqs", "2.4,2.8,3.2,3.5", "frequencies for temperature sweeps (GHz)")
 	return
 }
 
-func buildOptions(apps string, grid, instr int, freqs string) (exp.Options, error) {
+func buildOptions(apps string, grid, instr, workers int, freqs string) (exp.Options, error) {
 	o := exp.DefaultOptions()
 	if apps != "" {
 		o.Apps = strings.Split(apps, ",")
 	}
 	o.GridRows, o.GridCols = grid, grid
 	o.Instructions = instr
+	o.Workers = workers
 	if freqs != "" {
 		o.Freqs = nil
 		for _, s := range strings.Split(freqs, ",") {
@@ -110,11 +115,11 @@ func buildOptions(apps string, grid, instr int, freqs string) (exp.Options, erro
 }
 
 func newRunner(fs *flag.FlagSet, args []string) (*exp.Runner, error) {
-	apps, grid, instr, freqs := optFlags(fs)
+	apps, grid, instr, workers, freqs := optFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	o, err := buildOptions(*apps, *grid, *instr, *freqs)
+	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs)
 	if err != nil {
 		return nil, err
 	}
@@ -142,14 +147,14 @@ func cmdFigureFlag(args []string) error {
 	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
 	id := fs.String("id", "", "figure id: 7..19, area, refresh, d2d, profile, workloads, or org")
 	csvPath := fs.String("csv", "", "also write the table as CSV to this path")
-	apps, grid, instr, freqs := optFlags(fs)
+	apps, grid, instr, workers, freqs := optFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" {
 		return fmt.Errorf("figure: -id required")
 	}
-	o, err := buildOptions(*apps, *grid, *instr, *freqs)
+	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs)
 	if err != nil {
 		return err
 	}
@@ -363,6 +368,7 @@ func cmdFaults(args []string) error {
 	guard := fs.Float64("guard", -1, "guard band in °C (default 3)")
 	grid := fs.Int("grid", 32, "thermal grid resolution (NxN)")
 	instr := fs.Int("instr", 0, "per-thread instruction budget (0 = profile default)")
+	workers := fs.Int("workers", 0, "concurrent (rate, seed) runs (0 = all CPUs, 1 = serial)")
 	quick := fs.Bool("quick", false, "reduced sweep for smoke testing")
 	csvPath := fs.String("csv", "", "also write the table as CSV to this path")
 	if err := fs.Parse(args); err != nil {
@@ -376,6 +382,7 @@ func cmdFaults(args []string) error {
 	}
 	o.GridRows, o.GridCols = *grid, *grid
 	o.Instructions = *instr
+	o.Workers = *workers
 	kind, err := config.BuildScheme(*schemeName)
 	if err != nil {
 		return err

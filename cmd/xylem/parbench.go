@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/xylem-sim/xylem/internal/exp"
+)
+
+// parbenchReport is the JSON summary written by `xylem parbench`: the
+// same Figure 7 sweep timed three ways so the parallel engine and the
+// warm-started frequency ladder can each be credited (or blamed)
+// separately, plus the byte-identity check the parallel path promises.
+type parbenchReport struct {
+	Grid       int       `json:"grid"`
+	Apps       []string  `json:"apps"`
+	FreqsGHz   []float64 `json:"freqs_ghz"`
+	Workers    int       `json:"workers"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+
+	SerialColdS   float64 `json:"serial_cold_s"`
+	SerialWarmS   float64 `json:"serial_warm_s"`
+	ParallelWarmS float64 `json:"parallel_warm_s"`
+	// Speedup compares like with like: parallel warm vs serial warm.
+	Speedup       float64 `json:"speedup"`
+	SpeedupVsCold float64 `json:"speedup_vs_cold"`
+
+	ColdCGIters       int64   `json:"cg_iters_cold"`
+	WarmCGIters       int64   `json:"cg_iters_warm"`
+	WarmItersSavedPct float64 `json:"warm_iters_saved_pct"`
+
+	TablesByteIdentical bool `json:"tables_byte_identical"`
+}
+
+// cmdParbench times the Figure 7 temperature sweep under three engine
+// configurations, each on a fresh Runner so no caches carry over:
+//
+//  1. serial cold:    Workers=1, warm starts off — the seed's behaviour
+//  2. serial warm:    Workers=1, warm-started frequency ladder
+//  3. parallel warm:  Workers=N, warm-started
+//
+// It verifies all three render byte-identical tables and writes a JSON
+// summary with wall times, speedups, and CG iteration savings.
+func cmdParbench(args []string) error {
+	fs := flag.NewFlagSet("parbench", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_parallel.json", "write the JSON summary to this path")
+	apps, grid, instr, workers, freqs := optFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs)
+	if err != nil {
+		return err
+	}
+	par := *workers
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	run := func(workers int, noWarm bool) (time.Duration, string, int64, error) {
+		oo := o
+		oo.Workers = workers
+		oo.NoWarmStart = noWarm
+		r, err := exp.NewRunner(oo)
+		if err != nil {
+			return 0, "", 0, err
+		}
+		start := time.Now()
+		_, tab, err := r.Figure7()
+		if err != nil {
+			return 0, "", 0, err
+		}
+		return time.Since(start), tab.String(), r.Sys.Ev.Stats().SolveIters, nil
+	}
+
+	fmt.Printf("parbench: Figure 7 on a %dx%d grid, %d workers (GOMAXPROCS %d)\n",
+		o.GridRows, o.GridCols, par, runtime.GOMAXPROCS(0))
+
+	coldT, coldTab, coldIters, err := run(1, true)
+	if err != nil {
+		return fmt.Errorf("serial cold run: %w", err)
+	}
+	fmt.Printf("  serial cold   %8.2fs  %6d CG iterations\n", coldT.Seconds(), coldIters)
+	warmT, warmTab, warmIters, err := run(1, false)
+	if err != nil {
+		return fmt.Errorf("serial warm run: %w", err)
+	}
+	fmt.Printf("  serial warm   %8.2fs  %6d CG iterations\n", warmT.Seconds(), warmIters)
+	parT, parTab, _, err := run(par, false)
+	if err != nil {
+		return fmt.Errorf("parallel run: %w", err)
+	}
+	fmt.Printf("  parallel warm %8.2fs\n", parT.Seconds())
+
+	rep := parbenchReport{
+		Grid:                o.GridRows,
+		Apps:                o.Apps,
+		FreqsGHz:            o.Freqs,
+		Workers:             par,
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		SerialColdS:         coldT.Seconds(),
+		SerialWarmS:         warmT.Seconds(),
+		ParallelWarmS:       parT.Seconds(),
+		Speedup:             warmT.Seconds() / parT.Seconds(),
+		SpeedupVsCold:       coldT.Seconds() / parT.Seconds(),
+		ColdCGIters:         coldIters,
+		WarmCGIters:         warmIters,
+		TablesByteIdentical: coldTab == warmTab && warmTab == parTab,
+	}
+	if coldIters > 0 {
+		rep.WarmItersSavedPct = 100 * float64(coldIters-warmIters) / float64(coldIters)
+	}
+
+	fmt.Printf("  speedup %.2fx vs serial warm, %.2fx vs serial cold; warm start saved %.1f%% of CG iterations\n",
+		rep.Speedup, rep.SpeedupVsCold, rep.WarmItersSavedPct)
+	if !rep.TablesByteIdentical {
+		fmt.Println("  WARNING: rendered tables are NOT byte-identical across configurations")
+	} else {
+		fmt.Println("  tables byte-identical across all three configurations")
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

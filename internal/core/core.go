@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/xylem-sim/xylem/internal/cpusim"
@@ -20,6 +21,7 @@ import (
 	"github.com/xylem-sim/xylem/internal/floorplan"
 	"github.com/xylem-sim/xylem/internal/perf"
 	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
 	"github.com/xylem-sim/xylem/internal/workload"
 )
 
@@ -92,8 +94,15 @@ func (s *System) Uniform(f float64) []float64 { return s.DTM.Uniform(f) }
 // EvaluateUniform runs app with 8 threads at a uniform frequency on the
 // given scheme and returns the thermal/performance outcome.
 func (s *System) EvaluateUniform(k stack.SchemeKind, app workload.Profile, fGHz float64) (perf.Outcome, error) {
+	return s.EvaluateUniformWarmCtx(context.Background(), k, app, fGHz, nil)
+}
+
+// EvaluateUniformWarmCtx is EvaluateUniform with cancellation and an
+// optional warm-start temperature field (the previous frequency's Temps
+// in a sweep ladder; nil for a cold start).
+func (s *System) EvaluateUniformWarmCtx(ctx context.Context, k stack.SchemeKind, app workload.Profile, fGHz float64, warm thermal.Temperature) (perf.Outcome, error) {
 	assigns := perf.UniformAssignments(app, s.Ev.SimCfg.Cores)
-	return s.Ev.Evaluate(s.stacks[k], s.Uniform(fGHz), assigns)
+	return s.Ev.EvaluateWarmCtx(ctx, s.stacks[k], s.Uniform(fGHz), assigns, warm)
 }
 
 // EvaluatePlaced runs the app's threads on specific cores at a uniform

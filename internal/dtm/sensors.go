@@ -178,6 +178,11 @@ func (l *SensorLoop) NewBank(inj *fault.Injector) *fault.SensorBank {
 //
 // The guarded loop starts at the DVFS floor and earns its frequency; the
 // naive loop starts at the ceiling like the idealised ThrottleTrace.
+//
+// Run is safe to call from multiple goroutines: each run advances its
+// own transient state on a clone of the prepared solver (the shared
+// conductance network is immutable; only scratch buffers are private),
+// so fault seeds of a sweep can replay in parallel.
 func (l *SensorLoop) Run(ctx context.Context, bank *fault.SensorBank, powerInj *fault.Injector, policy SensorPolicy, guardC float64, steps int) ([]SensorSample, error) {
 	if steps < 1 {
 		return nil, fmt.Errorf("dtm: need at least one step")
@@ -194,7 +199,7 @@ func (l *SensorLoop) Run(ctx context.Context, bank *fault.SensorBank, powerInj *
 	if policy == NaivePolicy {
 		level = top
 	}
-	ts := l.solver.NewTransientAmbient()
+	ts := l.solver.Clone().NewTransientAmbient()
 	lastRead := make([]float64, len(l.sites))
 	stale := make([]int, len(l.sites))
 	out := make([]SensorSample, 0, steps)
@@ -238,8 +243,8 @@ func (l *SensorLoop) Run(ctx context.Context, bank *fault.SensorBank, powerInj *
 		}
 
 		sample := SensorSample{
-			TimeMs:  float64(i+1) * l.periodMs,
-			FreqGHz: l.levels[level],
+			TimeMs:   float64(i+1) * l.periodMs,
+			FreqGHz:  l.levels[level],
 			TrueHotC: trueHot, TrueHeadroomC: trueHead,
 			FusedHeadroomC: fused, ValidSensors: valid,
 		}

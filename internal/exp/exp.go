@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strings"
 
 	"github.com/xylem-sim/xylem/internal/core"
@@ -54,6 +55,25 @@ type Options struct {
 	// MigrationPeriodMs its migration interval (30 ms in the paper).
 	MigrationGHz      float64
 	MigrationPeriodMs float64
+	// Workers bounds how many experiment points run concurrently
+	// (0 = runtime.GOMAXPROCS(0), 1 = serial). Tables and CSV output are
+	// byte-identical for every setting: results land in slots indexed by
+	// the serial iteration order, and the evaluator underneath is
+	// concurrency-safe.
+	Workers int
+	// NoWarmStart disables seeding each frequency-ladder solve with the
+	// previous frequency's temperature field (used by benchmarks to
+	// measure the warm-start savings; results agree to solver tolerance
+	// either way).
+	NoWarmStart bool
+}
+
+// workerCount resolves Workers to an effective pool size.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultOptions returns the paper-scale settings.
@@ -96,6 +116,10 @@ func NewRunner(opts Options) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The same worker budget feeds the CG kernel pools; solvers only
+	// split their kernels above the thermal package's cell threshold,
+	// where a single solve dominates a point's cost.
+	sys.Ev.Workers = opts.workerCount()
 	return &Runner{Sys: sys, Opts: opts}, nil
 }
 

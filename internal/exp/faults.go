@@ -106,34 +106,57 @@ func (r *Runner) FaultSweep(ctx context.Context, fo FaultOptions) ([]FaultRow, T
 	}
 	oracleGHz := dtm.SettledSensorFrequency(oracle)
 
+	// Fan the (rate, seed) grid out on the worker pool — SensorLoop.Run
+	// is concurrency-safe — then aggregate per rate in seed order so the
+	// rows match the serial sweep exactly.
+	type seedResult struct {
+		guardedGHz, fallback   float64
+		guardedViol, naiveViol float64
+	}
+	results := make([]seedResult, len(fo.DropoutRates)*fo.Seeds)
+	err = runIndexed(ctx, r.Opts.workerCount(), len(results), func(ctx context.Context, i int) error {
+		rate := fo.DropoutRates[i/fo.Seeds]
+		seed := i % fo.Seeds
+		cfg := fault.Config{Seed: uint64(seed) + 1}
+		if rate > 0 {
+			cfg.SensorDropoutRate = rate
+			cfg.SensorNoiseSigmaC = fo.NoiseSigmaC
+			cfg.SensorQuantC = fo.QuantC
+		}
+		guarded, err := loop.Run(ctx, loop.NewBank(fault.New(cfg)), nil, dtm.GuardedPolicy, fo.GuardC, fo.Steps)
+		if err != nil {
+			return err
+		}
+		naive, err := loop.Run(ctx, loop.NewBank(fault.New(cfg)), nil, dtm.NaivePolicy, 0, fo.Steps)
+		if err != nil {
+			return err
+		}
+		results[i] = seedResult{
+			guardedGHz:  dtm.SettledSensorFrequency(guarded),
+			fallback:    dtm.FallbackFraction(guarded),
+			guardedViol: dtm.MaxTrueViolationC(guarded),
+			naiveViol:   dtm.MaxTrueViolationC(naive),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Table{}, err
+	}
 	rows := make([]FaultRow, 0, len(fo.DropoutRates))
-	for _, rate := range fo.DropoutRates {
+	for ri, rate := range fo.DropoutRates {
 		row := FaultRow{DropoutRate: rate, OracleGHz: oracleGHz}
 		var guardedSum, fallbackSum float64
 		for seed := 0; seed < fo.Seeds; seed++ {
-			cfg := fault.Config{Seed: uint64(seed) + 1}
-			if rate > 0 {
-				cfg.SensorDropoutRate = rate
-				cfg.SensorNoiseSigmaC = fo.NoiseSigmaC
-				cfg.SensorQuantC = fo.QuantC
-			}
-			guarded, err := loop.Run(ctx, loop.NewBank(fault.New(cfg)), nil, dtm.GuardedPolicy, fo.GuardC, fo.Steps)
-			if err != nil {
-				return nil, Table{}, err
-			}
-			naive, err := loop.Run(ctx, loop.NewBank(fault.New(cfg)), nil, dtm.NaivePolicy, 0, fo.Steps)
-			if err != nil {
-				return nil, Table{}, err
-			}
-			guardedSum += dtm.SettledSensorFrequency(guarded)
-			fallbackSum += dtm.FallbackFraction(guarded)
-			if v := dtm.MaxTrueViolationC(guarded); v > 0 {
+			res := results[ri*fo.Seeds+seed]
+			guardedSum += res.guardedGHz
+			fallbackSum += res.fallback
+			if v := res.guardedViol; v > 0 {
 				row.GuardedViolSeeds++
 				if v > row.GuardedWorstC {
 					row.GuardedWorstC = v
 				}
 			}
-			if v := dtm.MaxTrueViolationC(naive); v > 0 {
+			if v := res.naiveViol; v > 0 {
 				row.NaiveViolSeeds++
 				if v > row.NaiveWorstC {
 					row.NaiveWorstC = v

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"github.com/xylem-sim/xylem/internal/core"
 	"github.com/xylem-sim/xylem/internal/stack"
 )
@@ -21,17 +23,22 @@ func (r *Runner) BoostSweep() ([]BoostRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []BoostRow
-	for _, app := range apps {
+	out := make([]BoostRow, len(apps))
+	err = runIndexed(context.Background(), r.Opts.workerCount(), len(apps), func(ctx context.Context, i int) error {
+		app := apps[i]
 		bank, err := r.Sys.IsoTemperatureBoost(stack.Bank, app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		banke, err := r.Sys.IsoTemperatureBoost(stack.BankE, app)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, BoostRow{App: app.Name, Bank: bank, BankE: banke})
+		out[i] = BoostRow{App: app.Name, Bank: bank, BankE: banke}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"github.com/xylem-sim/xylem/internal/core"
 	"github.com/xylem-sim/xylem/internal/stack"
 )
@@ -29,17 +31,22 @@ func (r *Runner) Figure15() ([]PlacementRow, Table, error) {
 	if err != nil {
 		return nil, Table{}, err
 	}
-	var rows []PlacementRow
-	for _, k := range lambdaSchemes {
+	rows := make([]PlacementRow, len(lambdaSchemes))
+	err = runIndexed(context.Background(), r.Opts.workerCount(), len(lambdaSchemes), func(ctx context.Context, i int) error {
+		k := lambdaSchemes[i]
 		out, _, err := r.Sys.LambdaPlacement(k, hot, cool, core.HotOutside)
 		if err != nil {
-			return nil, Table{}, err
+			return err
 		}
 		in, _, err := r.Sys.LambdaPlacement(k, hot, cool, core.HotInside)
 		if err != nil {
-			return nil, Table{}, err
+			return err
 		}
-		rows = append(rows, PlacementRow{Scheme: k, OutsideGHz: out, InsideGHz: in})
+		rows[i] = PlacementRow{Scheme: k, OutsideGHz: out, InsideGHz: in}
+		return nil
+	})
+	if err != nil {
+		return nil, Table{}, err
 	}
 	t := Table{
 		Title:  "Figure 15: λ-aware thread placement — max frequency under Tj,max (GHz)",
@@ -78,21 +85,29 @@ func (r *Runner) Figure16() ([]BoostLambdaRow, Table, error) {
 	if err != nil {
 		return nil, Table{}, err
 	}
-	var rows []BoostLambdaRow
-	for _, k := range lambdaSchemes {
-		var singles, inners []float64
-		for _, app := range apps {
-			s, in, err := r.Sys.LambdaBoost(k, app)
-			if err != nil {
-				return nil, Table{}, err
-			}
-			singles = append(singles, s)
-			inners = append(inners, in)
+	// Fan out over the (scheme, app) grid, then reduce per scheme in
+	// order.
+	type pair struct{ s, a int }
+	singles := make([]float64, len(lambdaSchemes)*len(apps))
+	inners := make([]float64, len(lambdaSchemes)*len(apps))
+	err = runIndexed(context.Background(), r.Opts.workerCount(), len(singles), func(ctx context.Context, i int) error {
+		p := pair{i / len(apps), i % len(apps)}
+		s, in, err := r.Sys.LambdaBoost(lambdaSchemes[p.s], apps[p.a])
+		if err != nil {
+			return err
 		}
+		singles[i], inners[i] = s, in
+		return nil
+	})
+	if err != nil {
+		return nil, Table{}, err
+	}
+	var rows []BoostLambdaRow
+	for si, k := range lambdaSchemes {
 		rows = append(rows, BoostLambdaRow{
 			Scheme:    k,
-			SingleGHz: arithMean(singles),
-			InnerGHz:  arithMean(inners),
+			SingleGHz: arithMean(singles[si*len(apps) : (si+1)*len(apps)]),
+			InnerGHz:  arithMean(inners[si*len(apps) : (si+1)*len(apps)]),
 		})
 	}
 	t := Table{
@@ -126,25 +141,30 @@ func (r *Runner) Figure17() ([]MigrationRow, Table, error) {
 	if err != nil {
 		return nil, Table{}, err
 	}
-	var rows []MigrationRow
-	for _, k := range lambdaSchemes {
-		var outer, inner []float64
-		for _, app := range apps {
-			o, err := r.Sys.LambdaMigration(k, app, false, r.Opts.MigrationGHz, r.Opts.MigrationPeriodMs)
-			if err != nil {
-				return nil, Table{}, err
-			}
-			in, err := r.Sys.LambdaMigration(k, app, true, r.Opts.MigrationGHz, r.Opts.MigrationPeriodMs)
-			if err != nil {
-				return nil, Table{}, err
-			}
-			outer = append(outer, o.AvgHotC)
-			inner = append(inner, in.AvgHotC)
+	outer := make([]float64, len(lambdaSchemes)*len(apps))
+	inner := make([]float64, len(lambdaSchemes)*len(apps))
+	err = runIndexed(context.Background(), r.Opts.workerCount(), len(outer), func(ctx context.Context, i int) error {
+		k, app := lambdaSchemes[i/len(apps)], apps[i%len(apps)]
+		o, err := r.Sys.LambdaMigration(k, app, false, r.Opts.MigrationGHz, r.Opts.MigrationPeriodMs)
+		if err != nil {
+			return err
 		}
+		in, err := r.Sys.LambdaMigration(k, app, true, r.Opts.MigrationGHz, r.Opts.MigrationPeriodMs)
+		if err != nil {
+			return err
+		}
+		outer[i], inner[i] = o.AvgHotC, in.AvgHotC
+		return nil
+	})
+	if err != nil {
+		return nil, Table{}, err
+	}
+	var rows []MigrationRow
+	for si, k := range lambdaSchemes {
 		rows = append(rows, MigrationRow{
 			Scheme: k,
-			OuterC: arithMean(outer),
-			InnerC: arithMean(inner),
+			OuterC: arithMean(outer[si*len(apps) : (si+1)*len(apps)]),
+			InnerC: arithMean(inner[si*len(apps) : (si+1)*len(apps)]),
 		})
 	}
 	t := Table{

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/xylem-sim/xylem/internal/core"
@@ -55,29 +56,42 @@ func (r *Runner) sensitivity(title, param string, values []float64, apply func(*
 		return nil, Table{}, err
 	}
 	baseF := r.Sys.Cfg.BaseGHz
-	var rows []SensitivityRow
-	for _, v := range values {
+	// Build the per-value systems serially (cheap: floorplan + network
+	// assembly), sharing the activity cache: the workload behaviour does
+	// not depend on the stack geometry. Only the DRAM die count feeds
+	// back into the memory model, so Fig. 19 re-simulates per point.
+	systems := make([]*core.System, len(values))
+	for vi, v := range values {
 		cfg := r.Sys.Cfg
 		apply(&cfg.Stack, v)
-		// Share the activity cache across the sweep: the workload
-		// behaviour does not depend on the stack geometry. Only the
-		// DRAM die count feeds back into the memory model, so Fig. 19
-		// re-simulates per point.
 		sys, err := core.NewSystemSharing(cfg, r.Sys.Ev)
 		if err != nil {
 			return nil, Table{}, fmt.Errorf("exp: %s=%g: %w", param, v, err)
 		}
+		systems[vi] = sys
+	}
+	// Fan out over the full (value, scheme, app) grid.
+	nPer := len(sensSchemes) * len(apps)
+	temps := make([]float64, len(values)*nPer)
+	err = runIndexed(context.Background(), r.Opts.workerCount(), len(temps), func(ctx context.Context, i int) error {
+		vi, rest := i/nPer, i%nPer
+		k, app := sensSchemes[rest/len(apps)], apps[rest%len(apps)]
+		o, err := systems[vi].EvaluateUniformWarmCtx(ctx, k, app, baseF, nil)
+		if err != nil {
+			return err
+		}
+		temps[i] = o.ProcHotC
+		return nil
+	})
+	if err != nil {
+		return nil, Table{}, err
+	}
+	var rows []SensitivityRow
+	for vi, v := range values {
 		row := SensitivityRow{Value: v, MeanC: map[stack.SchemeKind]float64{}}
-		for _, k := range sensSchemes {
-			var temps []float64
-			for _, app := range apps {
-				o, err := sys.EvaluateUniform(k, app, baseF)
-				if err != nil {
-					return nil, Table{}, err
-				}
-				temps = append(temps, o.ProcHotC)
-			}
-			row.MeanC[k] = arithMean(temps)
+		for si, k := range sensSchemes {
+			lo := vi*nPer + si*len(apps)
+			row.MeanC[k] = arithMean(temps[lo : lo+len(apps)])
 		}
 		rows = append(rows, row)
 	}

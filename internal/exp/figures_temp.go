@@ -1,9 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
+	"github.com/xylem-sim/xylem/internal/workload"
 )
 
 // TempPoint is one (app, scheme, frequency) temperature sample.
@@ -37,24 +40,56 @@ var fig7Schemes = []stack.SchemeKind{stack.Base, stack.Bank, stack.BankE, stack.
 
 // TempSweep runs the temperature sweep shared by Figures 7 and 13.
 func (r *Runner) TempSweep() (TempSweep, error) {
+	return r.TempSweepCtx(context.Background())
+}
+
+// TempSweepCtx runs the sweep's (app, scheme) chains on the worker pool.
+// Each chain walks its frequency ladder in order so every solve can
+// warm-start from the previous frequency's field; chains are independent
+// and results land by index, so point order — and therefore every table
+// and CSV derived from the sweep — matches the serial run exactly.
+func (r *Runner) TempSweepCtx(ctx context.Context) (TempSweep, error) {
 	apps, err := r.apps()
 	if err != nil {
 		return TempSweep{}, err
 	}
-	var out TempSweep
+	type chain struct {
+		app workload.Profile
+		k   stack.SchemeKind
+	}
+	chains := make([]chain, 0, len(apps)*len(fig7Schemes))
 	for _, app := range apps {
 		for _, k := range fig7Schemes {
-			for _, f := range r.Opts.Freqs {
-				o, err := r.Sys.EvaluateUniform(k, app, f)
-				if err != nil {
-					return TempSweep{}, fmt.Errorf("exp: %s/%s/%.1f: %w", app.Name, k, f, err)
-				}
-				out.Points = append(out.Points, TempPoint{
-					App: app.Name, Scheme: k, GHz: f,
-					ProcHotC: o.ProcHotC, DRAM0HotC: o.DRAM0HotC,
-				})
-			}
+			chains = append(chains, chain{app, k})
 		}
+	}
+	results := make([][]TempPoint, len(chains))
+	err = runIndexed(ctx, r.Opts.workerCount(), len(chains), func(ctx context.Context, i int) error {
+		c := chains[i]
+		var warm thermal.Temperature
+		pts := make([]TempPoint, 0, len(r.Opts.Freqs))
+		for _, f := range r.Opts.Freqs {
+			o, err := r.Sys.EvaluateUniformWarmCtx(ctx, c.k, c.app, f, warm)
+			if err != nil {
+				return fmt.Errorf("exp: %s/%s/%.1f: %w", c.app.Name, c.k, f, err)
+			}
+			if !r.Opts.NoWarmStart {
+				warm = o.Temps
+			}
+			pts = append(pts, TempPoint{
+				App: c.app.Name, Scheme: c.k, GHz: f,
+				ProcHotC: o.ProcHotC, DRAM0HotC: o.DRAM0HotC,
+			})
+		}
+		results[i] = pts
+		return nil
+	})
+	if err != nil {
+		return TempSweep{}, err
+	}
+	var out TempSweep
+	for _, pts := range results {
+		out.Points = append(out.Points, pts...)
 	}
 	return out, nil
 }
@@ -131,25 +166,30 @@ func (r *Runner) Figure8() ([]ReductionRow, Table, error) {
 		return nil, Table{}, err
 	}
 	base := r.Sys.Cfg.BaseGHz
-	var rows []ReductionRow
-	for _, app := range apps {
-		b, err := r.Sys.EvaluateUniform(stack.Base, app, base)
+	rows := make([]ReductionRow, len(apps))
+	err = runIndexed(context.Background(), r.Opts.workerCount(), len(apps), func(ctx context.Context, i int) error {
+		app := apps[i]
+		b, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.Base, app, base, nil)
 		if err != nil {
-			return nil, Table{}, err
+			return err
 		}
-		bank, err := r.Sys.EvaluateUniform(stack.Bank, app, base)
+		bank, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.Bank, app, base, nil)
 		if err != nil {
-			return nil, Table{}, err
+			return err
 		}
-		banke, err := r.Sys.EvaluateUniform(stack.BankE, app, base)
+		banke, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.BankE, app, base, nil)
 		if err != nil {
-			return nil, Table{}, err
+			return err
 		}
-		rows = append(rows, ReductionRow{
+		rows[i] = ReductionRow{
 			App:        app.Name,
 			BankDropC:  b.ProcHotC - bank.ProcHotC,
 			BankEDropC: b.ProcHotC - banke.ProcHotC,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Table{}, err
 	}
 	t := Table{
 		Title:  "Figure 8: steady-state temperature reduction over base at 2.4 GHz (°C)",
@@ -181,22 +221,39 @@ func (r *Runner) Figure14() ([]IsoCountRow, Table, error) {
 	if err != nil {
 		return nil, Table{}, err
 	}
-	var rows []IsoCountRow
-	for _, app := range apps {
+	// One chain per app: both schemes walk the frequency ladder with
+	// their own warm-start field.
+	perApp := make([][]IsoCountRow, len(apps))
+	err = runIndexed(context.Background(), r.Opts.workerCount(), len(apps), func(ctx context.Context, i int) error {
+		app := apps[i]
+		var warmBank, warmIso thermal.Temperature
+		out := make([]IsoCountRow, 0, len(r.Opts.Freqs))
 		for _, f := range r.Opts.Freqs {
-			bank, err := r.Sys.EvaluateUniform(stack.Bank, app, f)
+			bank, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.Bank, app, f, warmBank)
 			if err != nil {
-				return nil, Table{}, err
+				return err
 			}
-			iso, err := r.Sys.EvaluateUniform(stack.IsoCount, app, f)
+			iso, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.IsoCount, app, f, warmIso)
 			if err != nil {
-				return nil, Table{}, err
+				return err
 			}
-			rows = append(rows, IsoCountRow{
+			if !r.Opts.NoWarmStart {
+				warmBank, warmIso = bank.Temps, iso.Temps
+			}
+			out = append(out, IsoCountRow{
 				App: app.Name, GHz: f,
 				BankC: bank.ProcHotC, IsoCount: iso.ProcHotC,
 			})
 		}
+		perApp[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, Table{}, err
+	}
+	var rows []IsoCountRow
+	for _, rs := range perApp {
+		rows = append(rows, rs...)
 	}
 	t := Table{
 		Title:  "Figure 14: bank vs isoCount processor hotspot (°C)",

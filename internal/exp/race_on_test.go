@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether this binary was built with the race
+// detector; a handful of whole-sweep tests are too slow under its
+// ~10-20x slowdown and cover determinism, not synchronisation.
+const raceEnabled = true

@@ -1,0 +1,118 @@
+package perf
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/stack"
+)
+
+// Two goroutines asking for the same activity key must share exactly one
+// cpusim run: the second blocks on the in-flight simulation instead of
+// duplicating it.
+func TestActivitySingleflight(t *testing.T) {
+	ev := NewEvaluator()
+	st := smallStack(t, stack.Base)
+	app := smallApp(t, "lu-nas")
+	freqs := uniformFreqs(ev, 2.4)
+	assigns := UniformAssignments(app, ev.SimCfg.Cores)
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	times := make([]float64, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := ev.Activity(st.Cfg.NumDRAMDies, freqs, assigns)
+			errs[i], times[i] = err, res.TimeNs
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if times[i] != times[0] {
+			t.Errorf("caller %d saw a different result: %v != %v", i, times[i], times[0])
+		}
+	}
+	if runs := ev.Stats().ActivityRuns; runs != 1 {
+		t.Errorf("%d concurrent requests for one key ran %d simulations, want 1", callers, runs)
+	}
+}
+
+// Concurrent Evaluate calls against shared stacks must race-cleanly
+// agree with the serial answer (run under -race by `make test`).
+func TestEvaluateConcurrentMatchesSerial(t *testing.T) {
+	serial := NewEvaluator()
+	shared := NewEvaluator()
+	st := map[stack.SchemeKind]*stack.Stack{
+		stack.Base:  smallStack(t, stack.Base),
+		stack.BankE: smallStack(t, stack.BankE),
+	}
+	app := smallApp(t, "fft")
+
+	type point struct {
+		k stack.SchemeKind
+		f float64
+	}
+	var points []point
+	for _, k := range []stack.SchemeKind{stack.Base, stack.BankE} {
+		for _, f := range []float64{2.4, 3.2} {
+			points = append(points, point{k, f})
+		}
+	}
+	want := make([]float64, len(points))
+	for i, p := range points {
+		o, err := serial.Evaluate(st[p.k], uniformFreqs(serial, p.f), UniformAssignments(app, serial.SimCfg.Cores))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = o.ProcHotC
+	}
+
+	var wg sync.WaitGroup
+	got := make([]float64, len(points))
+	errs := make([]error, len(points))
+	for i, p := range points {
+		wg.Add(1)
+		go func(i int, p point) {
+			defer wg.Done()
+			o, err := shared.Evaluate(st[p.k], uniformFreqs(shared, p.f), UniformAssignments(app, shared.SimCfg.Cores))
+			got[i], errs[i] = o.ProcHotC, err
+		}(i, p)
+	}
+	wg.Wait()
+	for i := range points {
+		if errs[i] != nil {
+			t.Fatalf("point %d: %v", i, errs[i])
+		}
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("point %d: concurrent %.12f vs serial %.12f", i, got[i], want[i])
+		}
+	}
+}
+
+// The activity key must use a canonical float encoding: numerically
+// equal frequency vectors map to one key no matter how they were
+// produced, and distinct frequencies never collide.
+func TestActivityKeyCanonical(t *testing.T) {
+	app := smallApp(t, "lu-nas")
+	assigns := UniformAssignments(app, 2)
+	a := activityKey(8, []float64{2.4, 3.5}, assigns)
+	// 0.3*8 accumulates round-off: it differs from 2.4 at the last bit
+	// and must therefore get its own cache entry.
+	drift := 0.3 * 8
+	b := activityKey(8, []float64{drift, 3.5}, assigns)
+	if drift != 2.4 && a == b {
+		t.Error("bit-different frequencies collided in the activity key")
+	}
+	same, _ := strconv.ParseFloat("2.4", 64)
+	if c := activityKey(8, []float64{same, 3.5}, assigns); c != a {
+		t.Error("equal frequencies produced different keys")
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/xylem-sim/xylem/internal/cpusim"
 	"github.com/xylem-sim/xylem/internal/fault"
@@ -25,6 +27,14 @@ import (
 // Evaluator owns the simulation configuration and caches activity results
 // so evaluating the same workload point against several stack schemes
 // re-runs only the (cheap) power/thermal stages.
+//
+// An Evaluator is safe for concurrent use. The activity cache is
+// singleflight: two goroutines asking for the same key run one cpusim
+// simulation, the second blocking until the first finishes. The solver
+// cache hands out one solver per stack, and every solve on it is
+// serialised behind a per-stack lock (CG scratch buffers are shared
+// state). Configuration fields — including SolverFor hooks — must be set
+// before the evaluator is shared across goroutines.
 type Evaluator struct {
 	SimCfg cpusim.Config
 	Power  *power.Model
@@ -44,24 +54,77 @@ type Evaluator struct {
 	// RelaxFactor is the per-retry tolerance multiplier (default 100).
 	RelaxFactor float64
 	// DegradedSolves counts solves that only succeeded at relaxed
-	// tolerance.
+	// tolerance. Writes are guarded by the evaluator's stats lock; read
+	// it only after concurrent work has drained (or via Stats).
 	DegradedSolves int
 
-	activityCache map[string]cpusim.Result
-	solverCache   map[*stack.Stack]*thermal.Solver
+	// Workers is handed to each newly built thermal solver as its CG
+	// kernel worker count (0 = serial kernels). It does not bound how
+	// many evaluations run concurrently — that is the caller's pool.
+	Workers int
+
+	mu       sync.Mutex // guards the two cache maps
+	activity map[string]*activityCall
+	solvers  map[*stack.Stack]*solverSlot
+
+	statsMu      sync.Mutex
+	activityRuns int
+	solves       int
+	solveIters   int64
+}
+
+// activityCall is one singleflight cache entry: the first requester
+// closes done once res/err are final; everyone else waits on it.
+type activityCall struct {
+	done chan struct{}
+	res  cpusim.Result
+	err  error
+}
+
+// solverSlot pairs a cached solver with the lock that serialises solves
+// on it (a solver's scratch buffers admit one solve at a time).
+type solverSlot struct {
+	mu sync.Mutex
+	s  *thermal.Solver
 }
 
 // NewEvaluator returns an evaluator with the paper's architecture.
 func NewEvaluator() *Evaluator {
 	return &Evaluator{
-		SimCfg:        cpusim.DefaultConfig(),
-		Power:         power.DefaultModel(),
-		LeakageIters:  4,
-		ConvergeC:     0.05,
-		SolveRetries:  1,
-		RelaxFactor:   100,
-		activityCache: make(map[string]cpusim.Result),
-		solverCache:   make(map[*stack.Stack]*thermal.Solver),
+		SimCfg:       cpusim.DefaultConfig(),
+		Power:        power.DefaultModel(),
+		LeakageIters: 4,
+		ConvergeC:    0.05,
+		SolveRetries: 1,
+		RelaxFactor:  100,
+		activity:     make(map[string]*activityCall),
+		solvers:      make(map[*stack.Stack]*solverSlot),
+	}
+}
+
+// Stats is a snapshot of the evaluator's work counters.
+type Stats struct {
+	// ActivityRuns counts cpusim simulations actually executed (cache
+	// misses; singleflight waiters don't add to it).
+	ActivityRuns int
+	// Solves counts steady-state CG solves, SolveIters their total
+	// iteration count — the pair the bench harness uses to report
+	// warm-start savings.
+	Solves     int
+	SolveIters int64
+	// DegradedSolves counts solves that needed a relaxed tolerance.
+	DegradedSolves int
+}
+
+// Stats returns a consistent snapshot of the work counters.
+func (e *Evaluator) Stats() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return Stats{
+		ActivityRuns:   e.activityRuns,
+		Solves:         e.solves,
+		SolveIters:     e.solveIters,
+		DegradedSolves: e.DegradedSolves,
 	}
 }
 
@@ -98,7 +161,10 @@ func activityKey(slices int, freqs []float64, assigns []cpusim.Assignment) strin
 	var b strings.Builder
 	fmt.Fprintf(&b, "s%d;", slices)
 	for _, f := range freqs {
-		fmt.Fprintf(&b, "%.3f,", f)
+		// Canonical bit-exact encoding: formatted decimals ("2.4" vs
+		// "2.40") could split or alias cache entries.
+		b.WriteString(strconv.FormatFloat(f, 'b', -1, 64))
+		b.WriteByte(',')
 	}
 	for _, a := range assigns {
 		fmt.Fprintf(&b, "|%d:%s:%d:%d:%d", a.Core, a.App.Name, a.Thread, a.Instructions, a.Warmup)
@@ -109,12 +175,37 @@ func activityKey(slices int, freqs []float64, assigns []cpusim.Assignment) strin
 // Activity runs the performance simulation (or returns a cached run).
 // slices is the number of stacked DRAM dies (it shapes the memory
 // system's rank count and address mapping, so it is part of the cache
-// key).
+// key). Concurrent requests for the same key share one simulation: the
+// first caller runs it, later ones block until it finishes. A failed
+// run is evicted before its waiters are released, so a later request
+// retries instead of replaying the cached error forever.
 func (e *Evaluator) Activity(slices int, freqs []float64, assigns []cpusim.Assignment) (cpusim.Result, error) {
 	key := activityKey(slices, freqs, assigns)
-	if r, ok := e.activityCache[key]; ok {
-		return r, nil
+	e.mu.Lock()
+	if e.activity == nil {
+		e.activity = make(map[string]*activityCall)
 	}
+	if c, ok := e.activity[key]; ok {
+		e.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &activityCall{done: make(chan struct{})}
+	e.activity[key] = c
+	e.mu.Unlock()
+
+	c.res, c.err = e.runActivity(slices, freqs, assigns)
+	if c.err != nil {
+		e.mu.Lock()
+		delete(e.activity, key)
+		e.mu.Unlock()
+	}
+	close(c.done)
+	return c.res, c.err
+}
+
+// runActivity executes one cpusim simulation (always a cache miss).
+func (e *Evaluator) runActivity(slices int, freqs []float64, assigns []cpusim.Assignment) (cpusim.Result, error) {
 	cfg := e.SimCfg
 	cfg.DRAM.Slices = slices
 	sim, err := cpusim.New(cfg, freqs, assigns)
@@ -125,7 +216,9 @@ func (e *Evaluator) Activity(slices int, freqs []float64, assigns []cpusim.Assig
 	if err != nil {
 		return cpusim.Result{}, err
 	}
-	e.activityCache[key] = res
+	e.statsMu.Lock()
+	e.activityRuns++
+	e.statsMu.Unlock()
 	return res, nil
 }
 
@@ -155,33 +248,61 @@ type Outcome struct {
 	Result cpusim.Result
 }
 
-// solver returns (building if needed) the cached solver for a stack.
-func (e *Evaluator) solver(st *stack.Stack) (*thermal.Solver, error) {
-	if s, ok := e.solverCache[st]; ok {
-		return s, nil
+// slot returns (building if needed) the cached solver slot for a stack.
+func (e *Evaluator) slot(st *stack.Stack) (*solverSlot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.solvers == nil {
+		e.solvers = make(map[*stack.Stack]*solverSlot)
+	}
+	if sl, ok := e.solvers[st]; ok {
+		return sl, nil
 	}
 	s, err := thermal.NewSolver(st.Model)
 	if err != nil {
 		return nil, err
 	}
-	e.solverCache[st] = s
-	return s, nil
+	s.Workers = e.Workers
+	sl := &solverSlot{s: s}
+	e.solvers[st] = sl
+	return sl, nil
 }
 
 // SolverFor exposes the cached solver for a stack, building it if
 // needed. Fault-injection experiments use this to install a solve hook
-// on exactly the solver the evaluation pipeline will use.
+// on exactly the solver the evaluation pipeline will use; do so before
+// the evaluator is shared across goroutines.
 func (e *Evaluator) SolverFor(st *stack.Stack) (*thermal.Solver, error) {
-	return e.solver(st)
+	sl, err := e.slot(st)
+	if err != nil {
+		return nil, err
+	}
+	return sl.s, nil
+}
+
+// noteSolve records one finished CG solve in the work counters.
+func (e *Evaluator) noteSolve(iters int) {
+	e.statsMu.Lock()
+	e.solves++
+	e.solveIters += int64(iters)
+	e.statsMu.Unlock()
 }
 
 // steadyState runs one steady-state solve with the evaluator's
 // degradation policy: a solve that diverges or runs out of budget is
 // retried up to SolveRetries times with the CG tolerance relaxed by
-// RelaxFactor per attempt, then the original tolerance is restored. Any
-// other failure (bad power, cancellation) propagates immediately.
-func (e *Evaluator) steadyState(ctx context.Context, solver *thermal.Solver, pm thermal.PowerMap) (thermal.Temperature, error) {
-	t, err := solver.SteadyStateCtx(ctx, pm)
+// RelaxFactor per attempt. The relaxed tolerance travels as a per-solve
+// parameter (thermal.SolveOpts) — Solver.Tol is never written, so
+// concurrent solves on other stacks see no transient state. Any other
+// failure (bad power, cancellation) propagates immediately. warm, when
+// non-nil, seeds CG with a nearby field. The slot's lock serialises
+// solves on the shared solver.
+func (e *Evaluator) steadyState(ctx context.Context, sl *solverSlot, pm thermal.PowerMap, warm thermal.Temperature) (thermal.Temperature, error) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	solver := sl.s
+	t, err := solver.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Warm: warm})
+	e.noteSolve(solver.LastIters)
 	if err == nil {
 		return t, nil
 	}
@@ -192,13 +313,14 @@ func (e *Evaluator) steadyState(ctx context.Context, solver *thermal.Solver, pm 
 	if relax <= 1 {
 		relax = 100
 	}
-	orig := solver.Tol
-	defer func() { solver.Tol = orig }()
 	for r := 1; r <= e.SolveRetries; r++ {
-		solver.Tol = orig * math.Pow(relax, float64(r))
-		t, retryErr := solver.SteadyStateCtx(ctx, pm)
+		tol := solver.Tol * math.Pow(relax, float64(r))
+		t, retryErr := solver.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Tol: tol, Warm: warm})
+		e.noteSolve(solver.LastIters)
 		if retryErr == nil {
+			e.statsMu.Lock()
 			e.DegradedSolves++
+			e.statsMu.Unlock()
 			return t, nil
 		}
 		err = retryErr
@@ -218,11 +340,20 @@ func (e *Evaluator) Evaluate(st *stack.Stack, freqs []float64, assigns []cpusim.
 // EvaluateCtx is Evaluate with cancellation threaded through the thermal
 // solves.
 func (e *Evaluator) EvaluateCtx(ctx context.Context, st *stack.Stack, freqs []float64, assigns []cpusim.Assignment) (Outcome, error) {
+	return e.EvaluateWarmCtx(ctx, st, freqs, assigns, nil)
+}
+
+// EvaluateWarmCtx is EvaluateCtx with a warm-start field for the first
+// steady-state solve — typically the previous operating point's Temps in
+// a frequency-ladder sweep. The warm start seeds only the CG iterate;
+// the leakage fixed point runs exactly as from a cold start, so results
+// agree to solver tolerance.
+func (e *Evaluator) EvaluateWarmCtx(ctx context.Context, st *stack.Stack, freqs []float64, assigns []cpusim.Assignment, warm thermal.Temperature) (Outcome, error) {
 	res, err := e.Activity(st.Cfg.NumDRAMDies, freqs, assigns)
 	if err != nil {
 		return Outcome{}, err
 	}
-	return e.ThermalCtx(ctx, st, freqs, res)
+	return e.ThermalWarmCtx(ctx, st, freqs, res, warm)
 }
 
 // Thermal runs the power/thermal fixed point for an existing activity
@@ -233,10 +364,16 @@ func (e *Evaluator) Thermal(st *stack.Stack, freqs []float64, res cpusim.Result)
 
 // ThermalCtx is Thermal with cancellation threaded through the solves.
 func (e *Evaluator) ThermalCtx(ctx context.Context, st *stack.Stack, freqs []float64, res cpusim.Result) (Outcome, error) {
+	return e.ThermalWarmCtx(ctx, st, freqs, res, nil)
+}
+
+// ThermalWarmCtx is ThermalCtx with a warm-start field for the first
+// solve; later leakage iterations warm-start from their predecessor.
+func (e *Evaluator) ThermalWarmCtx(ctx context.Context, st *stack.Stack, freqs []float64, res cpusim.Result, warm thermal.Temperature) (Outcome, error) {
 	if res.TimeNs <= 0 {
 		return Outcome{}, fmt.Errorf("perf: activity has zero duration")
 	}
-	solver, err := e.solver(st)
+	sl, err := e.slot(st)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -255,6 +392,7 @@ func (e *Evaluator) ThermalCtx(ctx context.Context, st *stack.Stack, freqs []flo
 
 	var out Outcome
 	prevHot := math.Inf(-1)
+	seed := warm
 	for iter := 0; iter < e.LeakageIters; iter++ {
 		procBP, err := e.Power.ProcPower(st.Proc, res, freqs, res.TimeNs, blockTemp)
 		if err != nil {
@@ -268,10 +406,11 @@ func (e *Evaluator) ThermalCtx(ctx context.Context, st *stack.Stack, freqs []flo
 		if err != nil {
 			return Outcome{}, err
 		}
-		temps, err = e.steadyState(ctx, solver, pm)
+		temps, err = e.steadyState(ctx, sl, pm, seed)
 		if err != nil {
 			return Outcome{}, err
 		}
+		seed = temps
 		hot, _ := temps.Max(st.ProcMetalLayer)
 		out.ProcPowerW = power.TotalProc(procBP)
 		out.DRAMPowerW = power.TotalDRAM(sliceP)

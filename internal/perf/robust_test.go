@@ -91,7 +91,11 @@ func TestNoRetryOnBadPowerOrDisabled(t *testing.T) {
 		return 0, &fault.DivergenceError{Injected: true}
 	}
 	pm := st.Model.NewPowerMap()
-	_, err = ev.steadyState(context.Background(), solver, pm)
+	sl, err := ev.slot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ev.steadyState(context.Background(), sl, pm, nil)
 	if !errors.Is(err, fault.ErrDiverged) || calls != 1 {
 		t.Fatalf("retries disabled: err = %v after %d solves, want 1 failed solve", err, calls)
 	}

@@ -1,0 +1,148 @@
+package thermal
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel CG kernels. The hot loops of cg — the matrix-free apply
+// stencil, the dot products and the axpy updates — are expressed over
+// fixed row-slab chunks of the unknown vector. Chunk boundaries are a
+// function of the problem size only (never of the worker count), and
+// every reduction sums per-chunk partials in chunk order, so residuals,
+// iterates and iteration counts are bitwise-identical no matter how many
+// workers execute the chunks or in which order they finish. Workers
+// claim chunks dynamically off an atomic counter: load balancing is
+// free precisely because the chunk→output mapping is fixed.
+const (
+	// chunkCells is the fixed chunk width in cells. Small enough to
+	// load-balance a 29-layer stack across many cores, large enough that
+	// the per-chunk bookkeeping (one atomic add, one partial write) is
+	// noise next to the ~10 flops/cell stencil.
+	chunkCells = 8192
+	// parallelMinCells is the serial fast path threshold: below it a
+	// solve runs all chunks inline on the calling goroutine, because the
+	// pool's wake/barrier latency (~µs per kernel, 4 kernels per CG
+	// iteration) would exceed the arithmetic it hides. 24×24×29 ≈ 17k
+	// cells stays serial; 64×64×29 ≈ 119k cells goes parallel.
+	parallelMinCells = 32768
+)
+
+// numChunks returns the fixed chunk count for n cells.
+func numChunks(n int) int { return (n + chunkCells - 1) / chunkCells }
+
+// chunkBounds returns the half-open cell range [lo, hi) of chunk c.
+func (s *Solver) chunkBounds(c int) (lo, hi int) {
+	lo = c * chunkCells
+	hi = lo + chunkCells
+	if hi > s.n {
+		hi = s.n
+	}
+	return lo, hi
+}
+
+// runChunks executes f(c) for every chunk c — inline when the solve is
+// below the parallel threshold or the solver has no extra workers, on
+// the persistent pool otherwise. f must only write state owned by its
+// chunk (slices indexed [lo, hi) plus partial[c]).
+func (s *Solver) runChunks(f func(c int)) {
+	nc := numChunks(s.n)
+	if s.Workers > 1 && s.n >= parallelMinCells && nc > 1 {
+		s.ensurePool()
+		s.pool.run(f, nc)
+		return
+	}
+	for c := 0; c < nc; c++ {
+		f(c)
+	}
+}
+
+// sumPartials reduces the per-chunk partials in chunk order. The fixed
+// order is what makes the result independent of worker scheduling.
+func (s *Solver) sumPartials() float64 {
+	acc := 0.0
+	for _, p := range s.partial[:numChunks(s.n)] {
+		acc += p
+	}
+	return acc
+}
+
+// ensurePool lazily starts the persistent worker pool. Solves below
+// parallelMinCells never reach this, so throwaway solvers on small
+// grids (e.g. per-call transient solvers in DTM migration) don't leak
+// goroutines.
+func (s *Solver) ensurePool() {
+	if s.pool != nil {
+		return
+	}
+	w := s.Workers
+	if nc := numChunks(s.n); w > nc {
+		w = nc
+	}
+	s.pool = newKernelPool(w)
+}
+
+// Close stops the kernel worker pool, if one was started. The solver
+// stays usable — a later parallel solve restarts the pool. Solvers that
+// never ran a parallel solve have nothing to close.
+func (s *Solver) Close() {
+	if s.pool != nil {
+		s.pool.stop()
+		s.pool = nil
+	}
+}
+
+// kernelJob is one kernel dispatch: workers pull chunk indices from
+// next until max, run f on each, then signal wg.
+type kernelJob struct {
+	f    func(c int)
+	next *atomic.Int64
+	max  int64
+	wg   *sync.WaitGroup
+}
+
+// kernelPool is a persistent set of goroutines that execute kernel
+// jobs. One pool per solver: a solver's scratch buffers are single-
+// solve, so its kernels never overlap and the pool needs no per-job
+// result routing.
+type kernelPool struct {
+	jobs    chan kernelJob
+	workers int
+}
+
+func newKernelPool(workers int) *kernelPool {
+	p := &kernelPool{jobs: make(chan kernelJob), workers: workers}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := range p.jobs {
+				for {
+					c := j.next.Add(1) - 1
+					if c >= j.max {
+						break
+					}
+					j.f(int(c))
+				}
+				j.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes f over nchunks chunks and blocks until all are done.
+func (p *kernelPool) run(f func(c int), nchunks int) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	w := p.workers
+	if w > nchunks {
+		w = nchunks
+	}
+	wg.Add(w)
+	j := kernelJob{f: f, next: &next, max: int64(nchunks), wg: &wg}
+	for i := 0; i < w; i++ {
+		p.jobs <- j
+	}
+	wg.Wait()
+}
+
+func (p *kernelPool) stop() { close(p.jobs) }

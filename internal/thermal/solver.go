@@ -46,10 +46,13 @@ type Solver struct {
 	// capacity[i] is the cell heat capacity in J/K (transient solves).
 	capacity []float64
 
-	// scratch buffers reused across solves.
-	r, z, p, ap []float64
+	// scratch buffers reused across solves. partial holds the per-chunk
+	// reduction partials (see parallel.go); one slot per chunk.
+	r, z, p, ap, partial []float64
 
-	// Tol is the relative-residual convergence tolerance for CG.
+	// Tol is the relative-residual convergence tolerance for CG. A
+	// per-call override goes through SolveOpts — concurrent users must
+	// never patch this field around a solve.
 	Tol float64
 	// MaxIter bounds CG iterations per solve; exhausting it returns an
 	// error satisfying errors.Is(err, fault.ErrBudget).
@@ -61,6 +64,15 @@ type Solver struct {
 	// Hook, when non-nil, is consulted at the start of every solve (see
 	// SolveHook). The fault injector installs itself here.
 	Hook SolveHook
+	// Workers is the number of goroutines the CG kernels may use for
+	// solves at or above parallelMinCells cells (0 or 1 = serial). The
+	// kernel pool is started lazily on the first parallel solve and
+	// released by Close. Results are bitwise-identical for any value.
+	Workers int
+
+	// pool is the persistent kernel worker pool (nil until the first
+	// parallel solve; see parallel.go).
+	pool *kernelPool
 
 	// LastIters and LastResidual report the iteration count and final
 	// relative residual of the most recent solve (including failed
@@ -93,8 +105,40 @@ func NewSolver(m *Model) (*Solver, error) {
 	s.z = make([]float64, s.n)
 	s.p = make([]float64, s.n)
 	s.ap = make([]float64, s.n)
+	s.partial = make([]float64, numChunks(s.n))
 	s.assemble()
 	return s, nil
+}
+
+// Clone returns a solver over the same network with fresh scratch
+// buffers and its own (lazily started) kernel pool. The conductance and
+// capacity arrays are shared — they are immutable after assembly — so a
+// clone is cheap and the original and clone may solve concurrently.
+func (s *Solver) Clone() *Solver {
+	c := &Solver{
+		m:         s.m,
+		rows:      s.rows,
+		cols:      s.cols,
+		nPerLayer: s.nPerLayer,
+		n:         s.n,
+		gUp:       s.gUp,
+		gRight:    s.gRight,
+		gFront:    s.gFront,
+		diag:      s.diag,
+		gAmb:      s.gAmb,
+		capacity:  s.capacity,
+		Tol:       s.Tol,
+		MaxIter:   s.MaxIter,
+		MaxTime:   s.MaxTime,
+		Hook:      s.Hook,
+		Workers:   s.Workers,
+	}
+	c.r = make([]float64, c.n)
+	c.z = make([]float64, c.n)
+	c.p = make([]float64, c.n)
+	c.ap = make([]float64, c.n)
+	c.partial = make([]float64, numChunks(c.n))
+	return c
 }
 
 // idx maps (layer, cell-in-layer) to the global unknown index.
@@ -170,11 +214,13 @@ func (s *Solver) assemble() {
 	}
 }
 
-// apply computes y = (G + shift·C/dtDiag) · x where G is the conductance
-// matrix. shift is 0 for steady-state solves; for backward-Euler steps it
-// is 1/dt so the diagonal gains C/dt.
-func (s *Solver) apply(x, y []float64, shift float64) {
-	for i := range y {
+// applyRange computes y[lo:hi] = ((G + shift·C)·x)[lo:hi] where G is
+// the conductance matrix. shift is 0 for steady-state solves; for
+// backward-Euler steps it is 1/dt so the diagonal gains C/dt. The
+// stencil reads x outside [lo, hi) (neighbour cells) but only writes
+// inside it, so disjoint ranges run concurrently.
+func (s *Solver) applyRange(x, y []float64, shift float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		d := s.diag[i]
 		if shift != 0 {
 			d += shift * s.capacity[i]
@@ -225,11 +271,22 @@ const (
 
 // cg solves (G + shift·C)·x = b in place, starting from the current
 // contents of x (a warm start), using Jacobi-preconditioned conjugate
-// gradients. It returns the iteration count. Failures carry the fault
-// taxonomy: errors.Is(err, fault.ErrDiverged) for breakdown, divergence
-// or stagnation; fault.ErrBudget for iteration/time-budget exhaustion;
-// ctx errors for cancellation.
-func (s *Solver) cg(ctx context.Context, b, x []float64, shift float64) (int, error) {
+// gradients. tol is the relative-residual tolerance (≤0 falls back to
+// s.Tol); it is a parameter, not solver state, so concurrent callers can
+// relax individual solves without racing. It returns the iteration
+// count. Failures carry the fault taxonomy: errors.Is(err,
+// fault.ErrDiverged) for breakdown, divergence or stagnation;
+// fault.ErrBudget for iteration/time-budget exhaustion; ctx errors for
+// cancellation.
+//
+// Every kernel runs over the fixed chunks of parallel.go with partials
+// reduced in chunk order, so the arithmetic — and therefore the iterate,
+// the residual history and the iteration count — is bitwise-identical
+// for any Workers setting.
+func (s *Solver) cg(ctx context.Context, b, x []float64, shift, tol float64) (int, error) {
+	if tol <= 0 {
+		tol = s.Tol
+	}
 	maxIter, injected := s.MaxIter, false
 	if s.Hook != nil {
 		mi, err := s.Hook()
@@ -247,13 +304,18 @@ func (s *Solver) cg(ctx context.Context, b, x []float64, shift float64) (int, er
 	if s.MaxTime > 0 {
 		start = time.Now()
 	}
-	s.apply(x, s.ap, shift)
-	bnorm := 0.0
-	for i := range b {
-		s.r[i] = b[i] - s.ap[i]
-		bnorm += b[i] * b[i]
-	}
-	bnorm = math.Sqrt(bnorm)
+	// r = b − A·x ; ‖b‖².
+	s.runChunks(func(c int) {
+		lo, hi := s.chunkBounds(c)
+		s.applyRange(x, s.ap, shift, lo, hi)
+		pp := 0.0
+		for i := lo; i < hi; i++ {
+			s.r[i] = b[i] - s.ap[i]
+			pp += b[i] * b[i]
+		}
+		s.partial[c] = pp
+	})
+	bnorm := math.Sqrt(s.sumPartials())
 	if bnorm == 0 {
 		for i := range x {
 			x[i] = 0
@@ -261,18 +323,26 @@ func (s *Solver) cg(ctx context.Context, b, x []float64, shift float64) (int, er
 		s.LastIters, s.LastResidual = 0, 0
 		return 0, nil
 	}
-	precond := func(r, z []float64) {
-		for i := range r {
-			d := s.diag[i]
-			if shift != 0 {
-				d += shift * s.capacity[i]
+	// precondDot: z = M⁻¹·r fused with the r·z reduction.
+	precondDot := func() float64 {
+		s.runChunks(func(c int) {
+			lo, hi := s.chunkBounds(c)
+			pp := 0.0
+			for i := lo; i < hi; i++ {
+				d := s.diag[i]
+				if shift != 0 {
+					d += shift * s.capacity[i]
+				}
+				z := s.r[i] / d
+				s.z[i] = z
+				pp += s.r[i] * z
 			}
-			z[i] = r[i] / d
-		}
+			s.partial[c] = pp
+		})
+		return s.sumPartials()
 	}
-	precond(s.r, s.z)
+	rz := precondDot()
 	copy(s.p, s.z)
-	rz := dot(s.r, s.z)
 	bestRel, bestIter, rel := math.Inf(1), 0, math.Inf(1)
 	for iter := 1; iter <= maxIter; iter++ {
 		if iter%checkEvery == 0 {
@@ -285,31 +355,46 @@ func (s *Solver) cg(ctx context.Context, b, x []float64, shift float64) (int, er
 					s.LastIters, s.LastResidual = iter, rel
 					return iter, fmt.Errorf("thermal: %w", &fault.BudgetError{
 						Iters: iter, Elapsed: el, MaxTime: s.MaxTime,
-						Residual: rel, Tol: s.Tol,
+						Residual: rel, Tol: tol,
 					})
 				}
 			}
 		}
-		s.apply(s.p, s.ap, shift)
-		pap := dot(s.p, s.ap)
+		// ap = A·p fused with the p·ap reduction.
+		s.runChunks(func(c int) {
+			lo, hi := s.chunkBounds(c)
+			s.applyRange(s.p, s.ap, shift, lo, hi)
+			pp := 0.0
+			for i := lo; i < hi; i++ {
+				pp += s.p[i] * s.ap[i]
+			}
+			s.partial[c] = pp
+		})
+		pap := s.sumPartials()
 		if pap <= 0 {
 			s.LastIters, s.LastResidual = iter, rel
 			return iter, fmt.Errorf("thermal: %w", &fault.DivergenceError{
-				Iters: iter, Residual: rel, Best: bestRel, Tol: s.Tol,
+				Iters: iter, Residual: rel, Best: bestRel, Tol: tol,
 				Detail: fmt.Sprintf("CG breakdown (pAp=%g); matrix not SPD?", pap),
 			})
 		}
 		alpha := rz / pap
-		rnorm := 0.0
-		for i := range x {
-			x[i] += alpha * s.p[i]
-			s.r[i] -= alpha * s.ap[i]
-			rnorm += s.r[i] * s.r[i]
-		}
+		// x += α·p ; r −= α·ap ; fused with the ‖r‖² reduction.
+		s.runChunks(func(c int) {
+			lo, hi := s.chunkBounds(c)
+			pp := 0.0
+			for i := lo; i < hi; i++ {
+				x[i] += alpha * s.p[i]
+				s.r[i] -= alpha * s.ap[i]
+				pp += s.r[i] * s.r[i]
+			}
+			s.partial[c] = pp
+		})
+		rnorm := s.sumPartials()
 		// The convergence test keeps the seed's exact floating-point
 		// form; rel is derived only for diagnostics.
 		rel = math.Sqrt(rnorm) / bnorm
-		if math.Sqrt(rnorm) <= s.Tol*bnorm {
+		if math.Sqrt(rnorm) <= tol*bnorm {
 			s.LastIters, s.LastResidual = iter, rel
 			return iter, nil
 		}
@@ -322,20 +407,22 @@ func (s *Solver) cg(ctx context.Context, b, x []float64, shift float64) (int, er
 				detail = "residual grew past divergence threshold"
 			}
 			return iter, fmt.Errorf("thermal: %w", &fault.DivergenceError{
-				Iters: iter, Residual: rel, Best: bestRel, Tol: s.Tol, Detail: detail,
+				Iters: iter, Residual: rel, Best: bestRel, Tol: tol, Detail: detail,
 			})
 		}
-		precond(s.r, s.z)
-		rzNew := dot(s.r, s.z)
+		rzNew := precondDot()
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range s.p {
-			s.p[i] = s.z[i] + beta*s.p[i]
-		}
+		s.runChunks(func(c int) {
+			lo, hi := s.chunkBounds(c)
+			for i := lo; i < hi; i++ {
+				s.p[i] = s.z[i] + beta*s.p[i]
+			}
+		})
 	}
 	s.LastIters, s.LastResidual = maxIter, rel
 	return maxIter, fmt.Errorf("thermal: %w", &fault.BudgetError{
-		Iters: maxIter, MaxIters: maxIter, Residual: rel, Tol: s.Tol, Injected: injected,
+		Iters: maxIter, MaxIters: maxIter, Residual: rel, Tol: tol, Injected: injected,
 	})
 }
 
@@ -379,6 +466,27 @@ func (s *Solver) SteadyState(power PowerMap) (Temperature, error) {
 // and aborts with its error (wrapped, so errors.Is(err, context.Canceled)
 // holds) when it is cancelled or its deadline passes.
 func (s *Solver) SteadyStateCtx(ctx context.Context, power PowerMap) (Temperature, error) {
+	return s.SteadyStateOpts(ctx, power, SolveOpts{})
+}
+
+// SolveOpts carries per-solve parameters. Everything here is scoped to
+// one call so concurrent users of a shared network never communicate
+// through solver fields.
+type SolveOpts struct {
+	// Tol overrides the solver's relative-residual tolerance for this
+	// solve only (0 = use Solver.Tol). The retry-with-relaxed-tolerance
+	// path in perf passes its widened tolerance here instead of patching
+	// Solver.Tol in place.
+	Tol float64
+	// Warm, when non-nil, seeds CG with this temperature field — e.g.
+	// the previous frequency's solution in a sweep ladder — instead of
+	// the uniform-ambient cold start. CG converges to the same tolerance
+	// from any start; a nearby seed just takes fewer iterations.
+	Warm Temperature
+}
+
+// SteadyStateOpts is SteadyStateCtx with per-solve options.
+func (s *Solver) SteadyStateOpts(ctx context.Context, power PowerMap, opts SolveOpts) (Temperature, error) {
 	if err := s.validatePower(power); err != nil {
 		return nil, err
 	}
@@ -393,11 +501,19 @@ func (s *Solver) SteadyStateCtx(ctx context.Context, power PowerMap) (Temperatur
 			b[i] += g * s.m.Ambient
 		}
 	}
-	x := make([]float64, s.n)
-	for i := range x {
-		x[i] = s.m.Ambient // warm start at ambient
+	var x []float64
+	if opts.Warm != nil {
+		var err error
+		if x, err = s.vectorFromField(opts.Warm); err != nil {
+			return nil, err
+		}
+	} else {
+		x = make([]float64, s.n)
+		for i := range x {
+			x[i] = s.m.Ambient // cold start at ambient
+		}
 	}
-	if _, err := s.cg(ctx, b, x, 0); err != nil {
+	if _, err := s.cg(ctx, b, x, 0, opts.Tol); err != nil {
 		return nil, err
 	}
 	return s.fieldFromVector(x), nil

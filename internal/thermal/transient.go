@@ -76,7 +76,7 @@ func (ts *TransientState) StepCtx(ctx context.Context, power PowerMap, dt float6
 	// may have scribbled on the warm-start vector, so snapshot it and
 	// roll back on error — a degraded pipeline keeps a valid field.
 	prev := append([]float64(nil), ts.x...)
-	if _, err := s.cg(ctx, b, ts.x, inv); err != nil {
+	if _, err := s.cg(ctx, b, ts.x, inv, 0); err != nil {
 		copy(ts.x, prev)
 		return err
 	}
