@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel figures faults-smoke examples clean
+.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke figures faults-smoke examples clean
 
 all: build vet test
 
@@ -40,9 +40,15 @@ bench-full:
 bench-smoke:
 	$(GO) test -short -bench 'BenchmarkThermalSteadyState|BenchmarkFig08TemperatureReduction' -benchtime=1x -run XXX -timeout 20m .
 
-# Serial vs parallel vs warm-started Figure 7 timing; writes BENCH_parallel.json.
+# Jacobi vs multigrid vs parallel Figure 7 timing; writes BENCH_parallel.json.
 bench-parallel:
 	$(GO) run ./cmd/xylem parbench -grid 24 -apps lu-nas,fft,is,radix,mg
+
+# CI gate for the multigrid preconditioner: a short parbench comparison
+# that fails unless MG strictly cuts total CG iterations below Jacobi and
+# both table-identity checks hold.
+mg-smoke:
+	$(GO) run ./cmd/xylem parbench -check -grid 16 -apps lu-nas,fft -instr 60000 -freqs 2.4,3.5 -o /tmp/bench_mg_smoke.json
 
 # Individual figures through the CLI, e.g. `make figures FIG=8`.
 FIG ?= 8

@@ -298,9 +298,11 @@ func BenchmarkFig19MemoryDies(b *testing.B) {
 // Substrate micro-benchmarks.
 
 // BenchmarkThermalSteadyState measures one steady-state solve of the full
-// 8-die stack model, serial vs parallel CG kernels. The 24×24 grid sits
-// below the parallel threshold (the workers sub-benchmarks must tie);
-// the 64×64 grid is where the chunked kernels earn their keep.
+// 8-die stack model across preconditioners and serial vs parallel CG
+// kernels. The 24×24 grid sits below the parallel threshold (the workers
+// sub-benchmarks must tie); the 64×64 grid is where the chunked kernels
+// earn their keep, and the mg/jacobi pair prices the V-cycle against the
+// iterations it saves.
 func BenchmarkThermalSteadyState(b *testing.B) {
 	grids := []int{24, 64}
 	if testing.Short() {
@@ -310,32 +312,36 @@ func BenchmarkThermalSteadyState(b *testing.B) {
 	if n := runtime.GOMAXPROCS(0); n > 1 {
 		workerCounts = append(workerCounts, n)
 	}
+	preconds := []thermal.Precond{thermal.PrecondMG, thermal.PrecondJacobi}
 	for _, n := range grids {
 		for _, workers := range workerCounts {
-			b.Run(fmt.Sprintf("grid%d/workers%d", n, workers), func(b *testing.B) {
-				cfg := stack.DefaultConfig()
-				cfg.GridRows, cfg.GridCols = n, n
-				st, err := stack.Build(cfg, stack.BankE)
-				if err != nil {
-					b.Fatal(err)
-				}
-				solver, err := thermal.NewSolver(st.Model)
-				if err != nil {
-					b.Fatal(err)
-				}
-				solver.Workers = workers
-				defer solver.Close()
-				pm := st.Model.NewPowerMap()
-				for c := 0; c < 8; c++ {
-					pm.AddBlock(st.Model.Grid, st.ProcMetalLayer, st.Proc.CoreRect(c), 2)
-				}
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if _, err := solver.SteadyState(pm); err != nil {
+			for _, pc := range preconds {
+				b.Run(fmt.Sprintf("grid%d/workers%d/%s", n, workers, pc), func(b *testing.B) {
+					cfg := stack.DefaultConfig()
+					cfg.GridRows, cfg.GridCols = n, n
+					st, err := stack.Build(cfg, stack.BankE)
+					if err != nil {
 						b.Fatal(err)
 					}
-				}
-			})
+					solver, err := thermal.NewSolver(st.Model)
+					if err != nil {
+						b.Fatal(err)
+					}
+					solver.Workers = workers
+					solver.DefaultPrecond = pc
+					defer solver.Close()
+					pm := st.Model.NewPowerMap()
+					for c := 0; c < 8; c++ {
+						pm.AddBlock(st.Model.Grid, st.ProcMetalLayer, st.Proc.CoreRect(c), 2)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := solver.SteadyState(pm); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
 	}
 }

@@ -84,16 +84,17 @@ func usage() {
 }
 
 // optFlags registers the shared experiment flags on a FlagSet.
-func optFlags(fs *flag.FlagSet) (apps *string, grid, instr, workers *int, freqs *string) {
+func optFlags(fs *flag.FlagSet) (apps *string, grid, instr, workers *int, freqs, precond *string) {
 	apps = fs.String("apps", "", "comma-separated application subset (default: all 17)")
 	grid = fs.Int("grid", 32, "thermal grid resolution (NxN)")
 	instr = fs.Int("instr", 0, "per-thread instruction budget (0 = profile default)")
 	workers = fs.Int("workers", 0, "concurrent experiment points (0 = all CPUs, 1 = serial)")
 	freqs = fs.String("freqs", "2.4,2.8,3.2,3.5", "frequencies for temperature sweeps (GHz)")
+	precond = fs.String("precond", "", "CG preconditioner: auto (multigrid), mg, or jacobi")
 	return
 }
 
-func buildOptions(apps string, grid, instr, workers int, freqs string) (exp.Options, error) {
+func buildOptions(apps string, grid, instr, workers int, freqs, precond string) (exp.Options, error) {
 	o := exp.DefaultOptions()
 	if apps != "" {
 		o.Apps = strings.Split(apps, ",")
@@ -101,6 +102,7 @@ func buildOptions(apps string, grid, instr, workers int, freqs string) (exp.Opti
 	o.GridRows, o.GridCols = grid, grid
 	o.Instructions = instr
 	o.Workers = workers
+	o.Precond = precond
 	if freqs != "" {
 		o.Freqs = nil
 		for _, s := range strings.Split(freqs, ",") {
@@ -115,11 +117,11 @@ func buildOptions(apps string, grid, instr, workers int, freqs string) (exp.Opti
 }
 
 func newRunner(fs *flag.FlagSet, args []string) (*exp.Runner, error) {
-	apps, grid, instr, workers, freqs := optFlags(fs)
+	apps, grid, instr, workers, freqs, precond := optFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs)
+	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs, *precond)
 	if err != nil {
 		return nil, err
 	}
@@ -147,14 +149,14 @@ func cmdFigureFlag(args []string) error {
 	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
 	id := fs.String("id", "", "figure id: 7..19, area, refresh, d2d, profile, workloads, or org")
 	csvPath := fs.String("csv", "", "also write the table as CSV to this path")
-	apps, grid, instr, workers, freqs := optFlags(fs)
+	apps, grid, instr, workers, freqs, precond := optFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" {
 		return fmt.Errorf("figure: -id required")
 	}
-	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs)
+	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs, *precond)
 	if err != nil {
 		return err
 	}
@@ -180,7 +182,24 @@ func cmdFigure(id string, args []string) error {
 	return runFigure(r, id)
 }
 
+// runFigure renders one figure and then reports the solver work it cost
+// (solves, CG iterations, multigrid V-cycles, iteration histogram) as a
+// delta against the evaluator's counters at entry — per-figure numbers
+// even when one Runner regenerates several figures.
 func runFigure(r *exp.Runner, id string) error {
+	prev := r.Sys.Ev.Stats()
+	if err := runFigureTable(r, id); err != nil {
+		return err
+	}
+	d := r.Sys.Ev.Stats().Sub(prev)
+	if d.Solves > 0 {
+		fmt.Printf("solver work: %d solves, %d CG iters, %d V-cycles, %d degraded; iters/solve %s\n",
+			d.Solves, d.SolveIters, d.VCycles, d.DegradedSolves, d.IterHist)
+	}
+	return nil
+}
+
+func runFigureTable(r *exp.Runner, id string) error {
 	print := func(t exp.Table, err error) error {
 		if err != nil {
 			return err

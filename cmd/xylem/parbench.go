@@ -11,10 +11,27 @@ import (
 	"github.com/xylem-sim/xylem/internal/exp"
 )
 
+// parbenchConfig is one timed Figure 7 sweep in the comparison matrix.
+type parbenchConfig struct {
+	Name     string  `json:"name"`
+	Precond  string  `json:"precond"`
+	Workers  int     `json:"workers"`
+	Warm     bool    `json:"warm"`
+	WallS    float64 `json:"wall_s"`
+	Solves   int     `json:"solves"`
+	CGIters  int64   `json:"cg_iters"`
+	VCycles  int64   `json:"vcycles"`
+	Degraded int     `json:"degraded_solves"`
+	IterHist string  `json:"iter_hist"`
+}
+
 // parbenchReport is the JSON summary written by `xylem parbench`: the
-// same Figure 7 sweep timed three ways so the parallel engine and the
-// warm-started frequency ladder can each be credited (or blamed)
-// separately, plus the byte-identity check the parallel path promises.
+// same Figure 7 sweep run under both preconditioners and with parallel
+// kernels, so the multigrid preconditioner, the warm-started frequency
+// ladder and the parallel engine can each be credited (or blamed)
+// separately — plus the identity checks both paths promise: multigrid
+// must reproduce the Jacobi tables at print precision, and the parallel
+// run must reproduce the serial run byte-for-byte.
 type parbenchReport struct {
 	Grid       int       `json:"grid"`
 	Apps       []string  `json:"apps"`
@@ -22,37 +39,49 @@ type parbenchReport struct {
 	Workers    int       `json:"workers"`
 	GOMAXPROCS int       `json:"gomaxprocs"`
 
-	SerialColdS   float64 `json:"serial_cold_s"`
-	SerialWarmS   float64 `json:"serial_warm_s"`
-	ParallelWarmS float64 `json:"parallel_warm_s"`
-	// Speedup compares like with like: parallel warm vs serial warm.
-	Speedup       float64 `json:"speedup"`
-	SpeedupVsCold float64 `json:"speedup_vs_cold"`
+	Configs []parbenchConfig `json:"configs"`
 
-	ColdCGIters       int64   `json:"cg_iters_cold"`
-	WarmCGIters       int64   `json:"cg_iters_warm"`
-	WarmItersSavedPct float64 `json:"warm_iters_saved_pct"`
+	// The headline comparison: total CG iterations for the warm serial
+	// sweep under each preconditioner, and their ratio.
+	CGItersJacobi   int64   `json:"cg_iters_jacobi"`
+	CGItersMG       int64   `json:"cg_iters_mg"`
+	MGVCycles       int64   `json:"mg_vcycles"`
+	MGIterReduction float64 `json:"mg_iter_reduction"`
 
-	TablesByteIdentical bool `json:"tables_byte_identical"`
+	// SpeedupMG compares like with like: MG serial warm vs Jacobi
+	// serial warm. SpeedupParallel is MG parallel warm vs MG serial warm.
+	SpeedupMG       float64 `json:"speedup_mg"`
+	SpeedupParallel float64 `json:"speedup_parallel"`
+
+	// TablesMatchJacobi: the MG sweep rendered the same tables as the
+	// Jacobi sweep (print precision absorbs the tolerance-level solver
+	// differences). TablesByteIdenticalWorkers: the parallel MG sweep
+	// rendered byte-identical tables to the serial MG sweep.
+	TablesMatchJacobi          bool `json:"tables_match_jacobi"`
+	TablesByteIdenticalWorkers bool `json:"tables_byte_identical_workers"`
 }
 
 // cmdParbench times the Figure 7 temperature sweep under three engine
 // configurations, each on a fresh Runner so no caches carry over:
 //
-//  1. serial cold:    Workers=1, warm starts off — the seed's behaviour
-//  2. serial warm:    Workers=1, warm-started frequency ladder
-//  3. parallel warm:  Workers=N, warm-started
+//  1. jacobi:      Workers=1, warm-started, Jacobi-preconditioned CG
+//  2. mg:          Workers=1, warm-started, multigrid-preconditioned CG
+//  3. mg-parallel: Workers=N, warm-started, multigrid
 //
-// It verifies all three render byte-identical tables and writes a JSON
-// summary with wall times, speedups, and CG iteration savings.
+// It verifies the MG tables match Jacobi's at print precision and the
+// parallel tables are byte-identical to the serial ones, then writes a
+// JSON summary with wall times, iteration totals and V-cycle counts.
+// With -check it exits non-zero when multigrid fails to cut iterations
+// or either table check fails — the CI smoke gate.
 func cmdParbench(args []string) error {
 	fs := flag.NewFlagSet("parbench", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_parallel.json", "write the JSON summary to this path")
-	apps, grid, instr, workers, freqs := optFlags(fs)
+	check := fs.Bool("check", false, "exit non-zero unless MG cuts CG iterations and tables match")
+	apps, grid, instr, workers, freqs, _ := optFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs)
+	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs, "")
 	if err != nil {
 		return err
 	}
@@ -61,66 +90,84 @@ func cmdParbench(args []string) error {
 		par = runtime.GOMAXPROCS(0)
 	}
 
-	run := func(workers int, noWarm bool) (time.Duration, string, int64, error) {
+	run := func(name, precond string, workers int) (parbenchConfig, string, error) {
 		oo := o
 		oo.Workers = workers
-		oo.NoWarmStart = noWarm
+		oo.Precond = precond
 		r, err := exp.NewRunner(oo)
 		if err != nil {
-			return 0, "", 0, err
+			return parbenchConfig{}, "", err
 		}
 		start := time.Now()
 		_, tab, err := r.Figure7()
 		if err != nil {
-			return 0, "", 0, err
+			return parbenchConfig{}, "", err
 		}
-		return time.Since(start), tab.String(), r.Sys.Ev.Stats().SolveIters, nil
+		wall := time.Since(start)
+		st := r.Sys.Ev.Stats()
+		c := parbenchConfig{
+			Name: name, Precond: precond, Workers: workers, Warm: true,
+			WallS: wall.Seconds(), Solves: st.Solves, CGIters: st.SolveIters,
+			VCycles: st.VCycles, Degraded: st.DegradedSolves,
+			IterHist: st.IterHist.String(),
+		}
+		return c, tab.String(), nil
 	}
 
 	fmt.Printf("parbench: Figure 7 on a %dx%d grid, %d workers (GOMAXPROCS %d)\n",
 		o.GridRows, o.GridCols, par, runtime.GOMAXPROCS(0))
 
-	coldT, coldTab, coldIters, err := run(1, true)
-	if err != nil {
-		return fmt.Errorf("serial cold run: %w", err)
+	show := func(c parbenchConfig) {
+		fmt.Printf("  %-12s %8.2fs  %6d CG iters  %6d V-cycles  iters/solve %s\n",
+			c.Name, c.WallS, c.CGIters, c.VCycles, c.IterHist)
 	}
-	fmt.Printf("  serial cold   %8.2fs  %6d CG iterations\n", coldT.Seconds(), coldIters)
-	warmT, warmTab, warmIters, err := run(1, false)
+
+	jac, jacTab, err := run("jacobi", "jacobi", 1)
 	if err != nil {
-		return fmt.Errorf("serial warm run: %w", err)
+		return fmt.Errorf("jacobi run: %w", err)
 	}
-	fmt.Printf("  serial warm   %8.2fs  %6d CG iterations\n", warmT.Seconds(), warmIters)
-	parT, parTab, _, err := run(par, false)
+	show(jac)
+	mg, mgTab, err := run("mg", "mg", 1)
 	if err != nil {
-		return fmt.Errorf("parallel run: %w", err)
+		return fmt.Errorf("mg run: %w", err)
 	}
-	fmt.Printf("  parallel warm %8.2fs\n", parT.Seconds())
+	show(mg)
+	mgPar, mgParTab, err := run("mg-parallel", "mg", par)
+	if err != nil {
+		return fmt.Errorf("mg parallel run: %w", err)
+	}
+	show(mgPar)
 
 	rep := parbenchReport{
-		Grid:                o.GridRows,
-		Apps:                o.Apps,
-		FreqsGHz:            o.Freqs,
-		Workers:             par,
-		GOMAXPROCS:          runtime.GOMAXPROCS(0),
-		SerialColdS:         coldT.Seconds(),
-		SerialWarmS:         warmT.Seconds(),
-		ParallelWarmS:       parT.Seconds(),
-		Speedup:             warmT.Seconds() / parT.Seconds(),
-		SpeedupVsCold:       coldT.Seconds() / parT.Seconds(),
-		ColdCGIters:         coldIters,
-		WarmCGIters:         warmIters,
-		TablesByteIdentical: coldTab == warmTab && warmTab == parTab,
+		Grid:                       o.GridRows,
+		Apps:                       o.Apps,
+		FreqsGHz:                   o.Freqs,
+		Workers:                    par,
+		GOMAXPROCS:                 runtime.GOMAXPROCS(0),
+		Configs:                    []parbenchConfig{jac, mg, mgPar},
+		CGItersJacobi:              jac.CGIters,
+		CGItersMG:                  mg.CGIters,
+		MGVCycles:                  mg.VCycles,
+		SpeedupMG:                  jac.WallS / mg.WallS,
+		SpeedupParallel:            mg.WallS / mgPar.WallS,
+		TablesMatchJacobi:          mgTab == jacTab,
+		TablesByteIdenticalWorkers: mgTab == mgParTab,
 	}
-	if coldIters > 0 {
-		rep.WarmItersSavedPct = 100 * float64(coldIters-warmIters) / float64(coldIters)
+	if mg.CGIters > 0 {
+		rep.MGIterReduction = float64(jac.CGIters) / float64(mg.CGIters)
 	}
 
-	fmt.Printf("  speedup %.2fx vs serial warm, %.2fx vs serial cold; warm start saved %.1f%% of CG iterations\n",
-		rep.Speedup, rep.SpeedupVsCold, rep.WarmItersSavedPct)
-	if !rep.TablesByteIdentical {
-		fmt.Println("  WARNING: rendered tables are NOT byte-identical across configurations")
+	fmt.Printf("  multigrid: %.1fx fewer CG iterations, %.2fx faster serial; parallel %.2fx on top\n",
+		rep.MGIterReduction, rep.SpeedupMG, rep.SpeedupParallel)
+	if rep.TablesMatchJacobi {
+		fmt.Println("  tables match jacobi at print precision")
 	} else {
-		fmt.Println("  tables byte-identical across all three configurations")
+		fmt.Println("  WARNING: MG tables do NOT match the Jacobi tables")
+	}
+	if rep.TablesByteIdenticalWorkers {
+		fmt.Println("  tables byte-identical serial vs parallel")
+	} else {
+		fmt.Println("  WARNING: parallel tables are NOT byte-identical to serial")
 	}
 
 	f, err := os.Create(*out)
@@ -134,5 +181,18 @@ func cmdParbench(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *check {
+		if rep.CGItersMG >= rep.CGItersJacobi {
+			return fmt.Errorf("check failed: MG used %d CG iterations, not below Jacobi's %d",
+				rep.CGItersMG, rep.CGItersJacobi)
+		}
+		if !rep.TablesMatchJacobi {
+			return fmt.Errorf("check failed: MG tables do not match Jacobi tables")
+		}
+		if !rep.TablesByteIdenticalWorkers {
+			return fmt.Errorf("check failed: parallel tables not byte-identical to serial")
+		}
+	}
 	return nil
 }

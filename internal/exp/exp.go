@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"github.com/xylem-sim/xylem/internal/core"
+	"github.com/xylem-sim/xylem/internal/thermal"
 	"github.com/xylem-sim/xylem/internal/workload"
 )
 
@@ -66,6 +67,11 @@ type Options struct {
 	// measure the warm-start savings; results agree to solver tolerance
 	// either way).
 	NoWarmStart bool
+	// Precond selects the CG preconditioner for every thermal solve:
+	// "" or "auto" (multigrid default), "mg", or "jacobi". Results agree
+	// to solver tolerance either way; the parallel benchmark uses it to
+	// compare iteration counts.
+	Precond string
 }
 
 // workerCount resolves Workers to an effective pool size.
@@ -120,6 +126,11 @@ func NewRunner(opts Options) (*Runner, error) {
 	// split their kernels above the thermal package's cell threshold,
 	// where a single solve dominates a point's cost.
 	sys.Ev.Workers = opts.workerCount()
+	pc, ok := thermal.ParsePrecond(opts.Precond)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown preconditioner %q (want auto, mg or jacobi)", opts.Precond)
+	}
+	sys.Ev.Precond = pc
 	return &Runner{Sys: sys, Opts: opts}, nil
 }
 

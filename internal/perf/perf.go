@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"strconv"
 	"strings"
 	"sync"
@@ -63,6 +64,11 @@ type Evaluator struct {
 	// many evaluations run concurrently — that is the caller's pool.
 	Workers int
 
+	// Precond is handed to each newly built thermal solver as its
+	// default preconditioner (thermal.PrecondAuto resolves to multigrid).
+	// Set it before the evaluator is shared across goroutines.
+	Precond thermal.Precond
+
 	mu       sync.Mutex // guards the two cache maps
 	activity map[string]*activityCall
 	solvers  map[*stack.Stack]*solverSlot
@@ -71,6 +77,52 @@ type Evaluator struct {
 	activityRuns int
 	solves       int
 	solveIters   int64
+	vcycles      int64
+	iterHist     IterHist
+}
+
+// IterHist is a power-of-two histogram of per-solve CG iteration counts:
+// bucket 0 counts zero-iteration solves (warm start already converged),
+// bucket k counts solves with iters in [2^(k-1), 2^k). The last bucket
+// absorbs everything beyond 2^(len-2).
+type IterHist [15]int64
+
+// bucket returns the histogram bucket for one solve's iteration count.
+func (IterHist) bucket(iters int) int {
+	if iters < 0 {
+		iters = 0
+	}
+	b := bits.Len(uint(iters))
+	if b >= len(IterHist{}) {
+		b = len(IterHist{}) - 1
+	}
+	return b
+}
+
+// String renders the non-empty buckets compactly, e.g.
+// "[8,16):12 [16,32):100".
+func (h IterHist) String() string {
+	var b strings.Builder
+	for k, n := range h {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		switch {
+		case k == 0:
+			fmt.Fprintf(&b, "0:%d", n)
+		case k == len(h)-1:
+			fmt.Fprintf(&b, "[%d,∞):%d", 1<<(k-1), n)
+		default:
+			fmt.Fprintf(&b, "[%d,%d):%d", 1<<(k-1), 1<<k, n)
+		}
+	}
+	if b.Len() == 0 {
+		return "(empty)"
+	}
+	return b.String()
 }
 
 // activityCall is one singleflight cache entry: the first requester
@@ -112,6 +164,11 @@ type Stats struct {
 	// warm-start savings.
 	Solves     int
 	SolveIters int64
+	// VCycles counts multigrid V-cycles across all solves (one per
+	// MG-preconditioned CG iteration; zero under Jacobi).
+	VCycles int64
+	// IterHist is the per-solve iteration-count histogram.
+	IterHist IterHist
 	// DegradedSolves counts solves that needed a relaxed tolerance.
 	DegradedSolves int
 }
@@ -124,8 +181,26 @@ func (e *Evaluator) Stats() Stats {
 		ActivityRuns:   e.activityRuns,
 		Solves:         e.solves,
 		SolveIters:     e.solveIters,
+		VCycles:        e.vcycles,
+		IterHist:       e.iterHist,
 		DegradedSolves: e.DegradedSolves,
 	}
+}
+
+// Sub returns the counter deltas since an earlier snapshot — the
+// per-figure solver-work accounting the experiment drivers report.
+func (s Stats) Sub(prev Stats) Stats {
+	d := Stats{
+		ActivityRuns:   s.ActivityRuns - prev.ActivityRuns,
+		Solves:         s.Solves - prev.Solves,
+		SolveIters:     s.SolveIters - prev.SolveIters,
+		VCycles:        s.VCycles - prev.VCycles,
+		DegradedSolves: s.DegradedSolves - prev.DegradedSolves,
+	}
+	for k := range d.IterHist {
+		d.IterHist[k] = s.IterHist[k] - prev.IterHist[k]
+	}
+	return d
 }
 
 // UniformAssignments places n threads of app on cores 0..n-1 with the
@@ -263,6 +338,7 @@ func (e *Evaluator) slot(st *stack.Stack) (*solverSlot, error) {
 		return nil, err
 	}
 	s.Workers = e.Workers
+	s.DefaultPrecond = e.Precond
 	sl := &solverSlot{s: s}
 	e.solvers[st] = sl
 	return sl, nil
@@ -280,11 +356,15 @@ func (e *Evaluator) SolverFor(st *stack.Stack) (*thermal.Solver, error) {
 	return sl.s, nil
 }
 
-// noteSolve records one finished CG solve in the work counters.
-func (e *Evaluator) noteSolve(iters int) {
+// noteSolve records one finished CG solve in the work counters, reading
+// the iteration and V-cycle counts off the solver that just ran (the
+// slot lock is still held, so LastIters/LastVCycles are this solve's).
+func (e *Evaluator) noteSolve(solver *thermal.Solver) {
 	e.statsMu.Lock()
 	e.solves++
-	e.solveIters += int64(iters)
+	e.solveIters += int64(solver.LastIters)
+	e.vcycles += int64(solver.LastVCycles)
+	e.iterHist[e.iterHist.bucket(solver.LastIters)]++
 	e.statsMu.Unlock()
 }
 
@@ -302,7 +382,7 @@ func (e *Evaluator) steadyState(ctx context.Context, sl *solverSlot, pm thermal.
 	defer sl.mu.Unlock()
 	solver := sl.s
 	t, err := solver.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Warm: warm})
-	e.noteSolve(solver.LastIters)
+	e.noteSolve(solver)
 	if err == nil {
 		return t, nil
 	}
@@ -316,7 +396,7 @@ func (e *Evaluator) steadyState(ctx context.Context, sl *solverSlot, pm thermal.
 	for r := 1; r <= e.SolveRetries; r++ {
 		tol := solver.Tol * math.Pow(relax, float64(r))
 		t, retryErr := solver.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Tol: tol, Warm: warm})
-		e.noteSolve(solver.LastIters)
+		e.noteSolve(solver)
 		if retryErr == nil {
 			e.statsMu.Lock()
 			e.DegradedSolves++

@@ -1,0 +1,96 @@
+package thermal_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+// mgVsJacobi solves one real stack under both preconditioners and
+// returns the max-abs field difference and both iteration counts.
+func mgVsJacobi(t *testing.T, kind stack.SchemeKind, grid int) (maxAbs float64, mgIters, jacIters int) {
+	t.Helper()
+	cfg := stack.DefaultConfig()
+	cfg.GridRows, cfg.GridCols = grid, grid
+	st, err := stack.Build(cfg, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := thermal.NewSolver(st.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-uniform processor load plus a light uniform DRAM load — the
+	// shape every evaluation solve has.
+	pm := st.Model.NewPowerMap()
+	n := st.Model.Grid.NumCells()
+	for c := 0; c < n; c++ {
+		pm[st.ProcMetalLayer][c] = 60 * (1 + float64(c%89)/89.0) / (1.5 * float64(n))
+	}
+	for _, li := range st.DRAMMetalLayers {
+		for c := 0; c < n; c++ {
+			pm[li][c] = 0.5 / float64(n)
+		}
+	}
+	ctx := context.Background()
+	mg, err := s.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Precond: thermal.PrecondMG})
+	if err != nil {
+		t.Fatalf("%v MG solve: %v", kind, err)
+	}
+	mgIters = s.LastIters
+	jac, err := s.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Precond: thermal.PrecondJacobi})
+	if err != nil {
+		t.Fatalf("%v Jacobi solve: %v", kind, err)
+	}
+	jacIters = s.LastIters
+	for li := range mg {
+		for c := range mg[li] {
+			if d := math.Abs(mg[li][c] - jac[li][c]); d > maxAbs {
+				maxAbs = d
+			}
+		}
+	}
+	return maxAbs, mgIters, jacIters
+}
+
+// The acceptance cross-check: on every TTSV scheme's real stack model —
+// heterogeneous λ fields, TSV bus regions, shorted µbump pillars, 29
+// layers — multigrid must agree with Jacobi to ≤1e-6 K and cut the
+// iteration count at least 5x.
+func TestMGMatchesJacobiAllSchemes(t *testing.T) {
+	for _, kind := range stack.AllSchemes {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			maxAbs, mgIters, jacIters := mgVsJacobi(t, kind, 24)
+			if maxAbs > 1e-6 {
+				t.Errorf("fields differ by %g K, want ≤1e-6", maxAbs)
+			}
+			if 5*mgIters > jacIters {
+				t.Errorf("MG took %d iterations vs Jacobi's %d, want ≥5x reduction", mgIters, jacIters)
+			}
+		})
+	}
+}
+
+// The same check at the paper's 32x32 evaluation grid for the baseline
+// and the headline scheme.
+func TestMGMatchesJacobiEvalGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32x32 stacks in -short mode")
+	}
+	for _, kind := range []stack.SchemeKind{stack.Base, stack.BankE} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			maxAbs, mgIters, jacIters := mgVsJacobi(t, kind, 32)
+			if maxAbs > 1e-6 {
+				t.Errorf("fields differ by %g K, want ≤1e-6", maxAbs)
+			}
+			if 5*mgIters > jacIters {
+				t.Errorf("MG took %d iterations vs Jacobi's %d, want ≥5x reduction", mgIters, jacIters)
+			}
+		})
+	}
+}

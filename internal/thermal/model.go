@@ -6,9 +6,13 @@
 // conductivity (so TSV buses, TTSVs and shorted µbump pillars can be
 // expressed as high-λ cells), with a convective boundary at the heat sink.
 //
-// The steady-state solver uses Jacobi-preconditioned conjugate gradients
-// on the (symmetric positive definite) conductance matrix; the transient
-// solver wraps it in unconditionally-stable backward-Euler steps.
+// The steady-state solver uses preconditioned conjugate gradients on the
+// (symmetric positive definite) conductance matrix — by default with a
+// geometric multigrid V-cycle preconditioner (planar semi-coarsening with
+// Galerkin conductance aggregation and red-black line Gauss-Seidel
+// smoothing; see multigrid.go), with plain Jacobi diagonal scaling as the
+// selectable fallback. The transient solver wraps it in
+// unconditionally-stable backward-Euler steps.
 //
 // Temperatures are in degrees Celsius throughout (the model is linear, so
 // the offset from Kelvin cancels everywhere except the ambient reference).

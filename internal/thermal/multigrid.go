@@ -1,0 +1,471 @@
+package thermal
+
+// Geometric multigrid preconditioner for the CG solver.
+//
+// The stack is a thin, strongly anisotropic domain: layers are tens of
+// micrometres thick while cells are hundreds of micrometres wide, so the
+// vertical conductances dwarf the lateral ones by 3-5 orders of
+// magnitude. Jacobi-preconditioned CG pays for that anisotropy with an
+// iteration count that grows with the planar resolution (the slow modes
+// are planar-oscillatory, vertically-smooth fields whose Rayleigh
+// quotient is set entirely by the tiny lateral conductances). The
+// textbook cure is semi-coarsening plus line relaxation: coarsen only in
+// the plane (layers are few and individually meaningful — D2D interfaces,
+// TTSV pillars — so they are kept at every level) and smooth with a
+// vertical line solver that treats each cell column as one strongly
+// coupled unknown block.
+//
+// Concretely, each level halves the planar grid (2x2 cell aggregates,
+// ceil division so odd extents keep a slim last row/column) and builds
+// the coarse operator by Galerkin conductance aggregation with
+// piecewise-constant transfer operators: a coarse conductance is the sum
+// of the fine conductances crossing the aggregate boundary, coarse
+// ambient couplings and heat capacities are aggregate sums, and
+// intra-aggregate conductances drop out. For a conductance network this
+// reproduces P^T·A·P exactly while preserving the 7-point structure, so
+// every level is just a smaller instance of the same stencil — and the
+// heterogeneous per-cell lambda of TTSV pillars and shorted-microbump
+// schemes survives coarsening as honest aggregate conductance.
+//
+// The smoother is red-black line Gauss-Seidel over cell columns: columns
+// are 2-coloured by planar parity, and each update solves its column's
+// vertical tridiagonal system exactly (Thomas algorithm) given the
+// current lateral neighbour values. Red columns read only black columns
+// and vice versa, and each column writes only its own cells, so a colour
+// half-sweep is embarrassingly parallel over the fixed planar chunks and
+// bitwise-identical for any Workers setting. The V-cycle runs one
+// forward (red, black) pre-smoothing sweep, restricts the residual
+// (aggregate sums), recurses, prolongs (aggregate injection), and one
+// backward (black, red) post-smoothing sweep; the coarsest (~3x3 planar)
+// level is solved with a fixed number of symmetric sweeps. Backward
+// post-smoothing is the adjoint of forward pre-smoothing (each colour
+// block solve is symmetric), so the whole cycle is a symmetric positive
+// operator — a legal CG preconditioner.
+//
+// The shift term of backward-Euler transient steps (shift·C) enters every
+// level through the aggregated capacities: ensureShifted folds it into a
+// per-level shifted diagonal once per solve (cached across a transient
+// series with a constant step), which also serves the Jacobi path, whose
+// hot loops no longer branch on the shift per cell.
+
+// Precond selects the preconditioner applied inside cg.
+type Precond int
+
+const (
+	// PrecondAuto defers to Solver.DefaultPrecond (which itself
+	// defaults to PrecondMG).
+	PrecondAuto Precond = iota
+	// PrecondJacobi is plain diagonal scaling — the original solver's
+	// behaviour, kept as the fallback and comparison baseline.
+	PrecondJacobi
+	// PrecondMG applies one geometric multigrid V-cycle per CG
+	// iteration.
+	PrecondMG
+)
+
+// String names the preconditioner for diagnostics and flags.
+func (p Precond) String() string {
+	switch p {
+	case PrecondJacobi:
+		return "jacobi"
+	case PrecondMG:
+		return "mg"
+	default:
+		return "auto"
+	}
+}
+
+// ParsePrecond maps a flag value to a Precond ("" and "auto" defer to
+// the solver default).
+func ParsePrecond(name string) (Precond, bool) {
+	switch name {
+	case "", "auto":
+		return PrecondAuto, true
+	case "jacobi":
+		return PrecondJacobi, true
+	case "mg":
+		return PrecondMG, true
+	default:
+		return PrecondAuto, false
+	}
+}
+
+const (
+	// mgPreSweeps/mgPostSweeps are the smoothing sweeps per V-cycle
+	// flank. One line sweep per flank is the standard V(1,1) cycle.
+	mgPreSweeps  = 1
+	mgPostSweeps = 1
+	// mgCoarsestSweeps is the number of symmetric line-GS sweeps used as
+	// the coarsest-level solve. The coarsest planar grid is at most
+	// mgCoarsestDim^2 columns, where this many sweeps reduce the error
+	// far below the V-cycle's own contraction.
+	mgCoarsestSweeps = 8
+	// mgCoarsestDim stops coarsening once both planar extents fit.
+	mgCoarsestDim = 3
+)
+
+// mgLevel is one level of the multigrid hierarchy. Level 0 aliases the
+// Solver's own operator arrays; coarser levels own theirs. The operator
+// slices are immutable after construction and shared across Clone; the
+// scratch slices are per-solver.
+type mgLevel struct {
+	rows, cols, layers int
+	nPerLayer, n       int
+
+	// Operator, same layout and semantics as the Solver fields.
+	gUp, gRight, gFront, gAmb, diag, capacity []float64
+
+	// Scratch. sdiag is diag + shift·capacity for the current shift
+	// (see ensureShifted); r holds smoothing residuals; cp/rp are the
+	// Thomas-algorithm factor rows; x/b are the level's correction and
+	// right-hand side (nil at level 0, where cg's own vectors serve).
+	sdiag, r, cp, rp, x, b []float64
+}
+
+// allocScratch sizes the per-solver scratch of a level. Level 0 borrows
+// cg's z/r vectors for x/b, so withXB is false there.
+func (l *mgLevel) allocScratch(withXB bool) {
+	l.sdiag = make([]float64, l.n)
+	l.r = make([]float64, l.n)
+	l.cp = make([]float64, l.n)
+	l.rp = make([]float64, l.n)
+	if withXB {
+		l.x = make([]float64, l.n)
+		l.b = make([]float64, l.n)
+	}
+}
+
+// cloneScratch returns a level sharing the immutable operator with fresh
+// scratch, for Solver.Clone.
+func (l *mgLevel) cloneScratch(withXB bool) *mgLevel {
+	c := &mgLevel{
+		rows: l.rows, cols: l.cols, layers: l.layers,
+		nPerLayer: l.nPerLayer, n: l.n,
+		gUp: l.gUp, gRight: l.gRight, gFront: l.gFront,
+		gAmb: l.gAmb, diag: l.diag, capacity: l.capacity,
+	}
+	c.allocScratch(withXB)
+	return c
+}
+
+// buildHierarchy constructs the coarsening ladder. Called once from
+// NewSolver, after assemble.
+func (s *Solver) buildHierarchy() {
+	l0 := &mgLevel{
+		rows: s.rows, cols: s.cols, layers: len(s.m.Layers),
+		nPerLayer: s.nPerLayer, n: s.n,
+		gUp: s.gUp, gRight: s.gRight, gFront: s.gFront,
+		gAmb: s.gAmb, diag: s.diag, capacity: s.capacity,
+	}
+	l0.allocScratch(false)
+	s.levels = []*mgLevel{l0}
+	for {
+		f := s.levels[len(s.levels)-1]
+		if f.rows <= mgCoarsestDim && f.cols <= mgCoarsestDim {
+			break
+		}
+		c := coarsen(f)
+		if c.rows == f.rows && c.cols == f.cols {
+			break // cannot shrink further (degenerate 1xN grids)
+		}
+		c.allocScratch(true)
+		s.levels = append(s.levels, c)
+	}
+}
+
+// coarsen builds the next-coarser level by Galerkin conductance
+// aggregation over 2x2 planar cell aggregates (layers kept).
+func coarsen(f *mgLevel) *mgLevel {
+	crows, ccols := (f.rows+1)/2, (f.cols+1)/2
+	c := &mgLevel{
+		rows: crows, cols: ccols, layers: f.layers,
+		nPerLayer: crows * ccols, n: crows * ccols * f.layers,
+	}
+	c.gUp = make([]float64, c.n)
+	c.gRight = make([]float64, c.n)
+	c.gFront = make([]float64, c.n)
+	c.gAmb = make([]float64, c.n)
+	c.diag = make([]float64, c.n)
+	c.capacity = make([]float64, c.n)
+
+	for lay := 0; lay < f.layers; lay++ {
+		fBase, cBase := lay*f.nPerLayer, lay*c.nPerLayer
+		for row := 0; row < f.rows; row++ {
+			for col := 0; col < f.cols; col++ {
+				fi := fBase + row*f.cols + col
+				ci := cBase + (row/2)*ccols + col/2
+				c.gAmb[ci] += f.gAmb[fi]
+				c.capacity[ci] += f.capacity[fi]
+				// Vertical edges never cross an aggregate (aggregates
+				// span one layer), so they all survive.
+				c.gUp[ci] += f.gUp[fi]
+				// A lateral edge survives iff it crosses an aggregate
+				// boundary (odd source index); edges interior to an
+				// aggregate drop out of the Galerkin product.
+				if col&1 == 1 {
+					c.gRight[ci] += f.gRight[fi]
+				}
+				if row&1 == 1 {
+					c.gFront[ci] += f.gFront[fi]
+				}
+			}
+		}
+	}
+
+	// Diagonal by the same incident-conductance rule as Solver.assemble;
+	// with aggregate sums above this equals the Galerkin diagonal.
+	for lay := 0; lay < c.layers; lay++ {
+		for p := 0; p < c.nPerLayer; p++ {
+			i := lay*c.nPerLayer + p
+			row, col := p/ccols, p%ccols
+			d := c.gAmb[i] + c.gRight[i] + c.gFront[i]
+			if col > 0 {
+				d += c.gRight[i-1]
+			}
+			if row > 0 {
+				d += c.gFront[i-ccols]
+			}
+			if lay+1 < c.layers {
+				d += c.gUp[i]
+			}
+			if lay > 0 {
+				d += c.gUp[i-c.nPerLayer]
+			}
+			c.diag[i] = d
+		}
+	}
+	return c
+}
+
+// ensureShifted materialises sdiag = diag + shift·capacity on every
+// level. The result is cached by shift value, so a transient series with
+// a constant step computes it once, and steady-state solves (shift 0)
+// reduce to a copy. Every kernel — MG smoothing, the CG stencil and the
+// Jacobi preconditioner — reads sdiag instead of re-deriving the shift
+// per cell per iteration.
+func (s *Solver) ensureShifted(shift float64) {
+	if s.shiftValid && s.shiftCached == shift {
+		return
+	}
+	for _, l := range s.levels {
+		lvl := l
+		if shift == 0 {
+			copy(lvl.sdiag, lvl.diag)
+			continue
+		}
+		s.runSpan(lvl.n, chunkCells, lvl.n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				lvl.sdiag[i] = lvl.diag[i] + shift*lvl.capacity[i]
+			}
+		})
+	}
+	s.shiftValid, s.shiftCached = true, shift
+}
+
+// applyRange computes y[lo:hi] = ((G + shift·C)·x)[lo:hi] on this level,
+// reading the precomputed shifted diagonal. The stencil reads x outside
+// [lo, hi) (neighbour cells) but only writes inside it, so disjoint
+// ranges run concurrently.
+func (l *mgLevel) applyRange(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		acc := l.sdiag[i] * x[i]
+		if g := l.gRight[i]; g != 0 {
+			acc -= g * x[i+1]
+		}
+		if g := l.gFront[i]; g != 0 {
+			acc -= g * x[i+l.cols]
+		}
+		// Symmetric counterparts.
+		c := i % l.nPerLayer
+		row, col := c/l.cols, c%l.cols
+		if col > 0 {
+			acc -= l.gRight[i-1] * x[i-1]
+		}
+		if row > 0 {
+			acc -= l.gFront[i-l.cols] * x[i-l.cols]
+		}
+		lay := i / l.nPerLayer
+		if lay+1 < l.layers {
+			if g := l.gUp[i]; g != 0 {
+				acc -= g * x[i+l.nPerLayer]
+			}
+		}
+		if lay > 0 {
+			if g := l.gUp[i-l.nPerLayer]; g != 0 {
+				acc -= g * x[i-l.nPerLayer]
+			}
+		}
+		y[i] = acc
+	}
+}
+
+// residualRange computes r[lo:hi] = (b − A·x)[lo:hi] into the level's
+// residual scratch.
+func (l *mgLevel) residualRange(b, x []float64, lo, hi int) {
+	l.applyRange(x, l.r, lo, hi)
+	for i := lo; i < hi; i++ {
+		l.r[i] = b[i] - l.r[i]
+	}
+}
+
+// planarChunkWidth is the fixed chunk width, in columns, of the line
+// smoother's kernels: a function of the layer count only, chosen so one
+// chunk carries about chunkCells cells of work.
+func planarChunkWidth(layers int) int {
+	w := chunkCells / layers
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// smoothLevel runs one red-black line Gauss-Seidel sweep on the level.
+// forward sweeps red then black; reverse sweeps black then red (the
+// adjoint, used for post-smoothing so the V-cycle stays symmetric).
+func (s *Solver) smoothLevel(l *mgLevel, b, x []float64, reverse bool) {
+	order := [2]int{0, 1}
+	if reverse {
+		order = [2]int{1, 0}
+	}
+	w := planarChunkWidth(l.layers)
+	for _, color := range order {
+		color := color
+		s.runSpan(l.nPerLayer, w, l.n, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				row, col := p/l.cols, p%l.cols
+				if (row+col)&1 != color {
+					continue
+				}
+				l.solveColumn(b, x, p, row, col)
+			}
+		})
+	}
+}
+
+// solveColumn performs the exact vertical tridiagonal solve of one cell
+// column (Thomas algorithm), with the lateral couplings to the current
+// values of the neighbouring columns folded into the right-hand side.
+// The column writes only its own cells (and its own rows of the cp/rp
+// factor scratch), so same-colour columns are independent.
+func (l *mgLevel) solveColumn(b, x []float64, p, row, col int) {
+	npl, cols := l.nPerLayer, l.cols
+	i := p
+	var cpPrev, rpPrev float64
+	for lay := 0; lay < l.layers; lay++ {
+		rhs := b[i]
+		if g := l.gRight[i]; g != 0 {
+			rhs += g * x[i+1]
+		}
+		if col > 0 {
+			if g := l.gRight[i-1]; g != 0 {
+				rhs += g * x[i-1]
+			}
+		}
+		if g := l.gFront[i]; g != 0 {
+			rhs += g * x[i+cols]
+		}
+		if row > 0 {
+			if g := l.gFront[i-cols]; g != 0 {
+				rhs += g * x[i-cols]
+			}
+		}
+		var sub float64 // coupling to the layer below
+		if lay > 0 {
+			sub = -l.gUp[i-npl]
+		}
+		denom := l.sdiag[i] - sub*cpPrev
+		var sup float64 // coupling to the layer above
+		if lay+1 < l.layers {
+			sup = -l.gUp[i]
+		}
+		cpPrev = sup / denom
+		rpPrev = (rhs - sub*rpPrev) / denom
+		l.cp[i], l.rp[i] = cpPrev, rpPrev
+		i += npl
+	}
+	i -= npl
+	xi := l.rp[i]
+	x[i] = xi
+	for lay := l.layers - 2; lay >= 0; lay-- {
+		i -= npl
+		xi = l.rp[i] - l.cp[i]*xi
+		x[i] = xi
+	}
+}
+
+// restrictTo transfers the fine residual to the coarse right-hand side:
+// each coarse cell sums its (up to four) fine children in fixed
+// row-major order, so the result is independent of chunk scheduling.
+func (s *Solver) restrictTo(f, c *mgLevel) {
+	s.runSpan(c.n, chunkCells, c.n, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			lay := ci / c.nPerLayer
+			p := ci % c.nPerLayer
+			R, C := p/c.cols, p%c.cols
+			base := lay * f.nPerLayer
+			acc := 0.0
+			for dr := 0; dr < 2; dr++ {
+				fr := 2*R + dr
+				if fr >= f.rows {
+					break
+				}
+				rowBase := base + fr*f.cols
+				for dc := 0; dc < 2; dc++ {
+					fc := 2*C + dc
+					if fc >= f.cols {
+						break
+					}
+					acc += f.r[rowBase+fc]
+				}
+			}
+			c.b[ci] = acc
+		}
+	})
+}
+
+// prolongFrom adds the coarse correction back into the fine iterate by
+// aggregate injection (the transpose of restrictTo's sum).
+func (s *Solver) prolongFrom(f, c *mgLevel, x []float64) {
+	s.runSpan(f.n, chunkCells, f.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lay := i / f.nPerLayer
+			p := i % f.nPerLayer
+			R, C := (p/f.cols)/2, (p%f.cols)/2
+			x[i] += c.x[lay*c.nPerLayer+R*c.cols+C]
+		}
+	})
+}
+
+// vcycle applies one V(1,1) multigrid cycle for the residual equation
+// A·x = b at level li, overwriting x with the correction. The cycle is a
+// fixed linear, symmetric, positive operator, which is what makes it a
+// legal CG preconditioner. ensureShifted must have run for the solve's
+// shift.
+func (s *Solver) vcycle(li int, b, x []float64) {
+	l := s.levels[li]
+	s.runSpan(l.n, chunkCells, l.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = 0
+		}
+	})
+	if li == len(s.levels)-1 {
+		for k := 0; k < mgCoarsestSweeps; k++ {
+			s.smoothLevel(l, b, x, false)
+			s.smoothLevel(l, b, x, true)
+		}
+		return
+	}
+	for k := 0; k < mgPreSweeps; k++ {
+		s.smoothLevel(l, b, x, false)
+	}
+	s.runSpan(l.n, chunkCells, l.n, func(lo, hi int) {
+		l.residualRange(b, x, lo, hi)
+	})
+	next := s.levels[li+1]
+	s.restrictTo(l, next)
+	s.vcycle(li+1, next.b, next.x)
+	s.prolongFrom(l, next, x)
+	for k := 0; k < mgPostSweeps; k++ {
+		s.smoothLevel(l, b, x, true)
+	}
+}

@@ -57,6 +57,34 @@ func (s *Solver) runChunks(f func(c int)) {
 	}
 }
 
+// runSpan executes f(lo, hi) over fixed-width chunks of [0, items) —
+// inline when the kernel's total cell count sits below the parallel
+// threshold, on the persistent pool otherwise. The chunk grid depends
+// only on (items, width), never on Workers, so any kernel whose chunks
+// write disjoint state is bitwise-deterministic. The multigrid kernels
+// run through this: cell-indexed ones with width chunkCells, the line
+// smoother with a planar width (cells here is the level's cell count,
+// which prices the work of one planar item as one column).
+func (s *Solver) runSpan(items, width, cells int, f func(lo, hi int)) {
+	nc := (items + width - 1) / width
+	run := func(c int) {
+		lo := c * width
+		hi := lo + width
+		if hi > items {
+			hi = items
+		}
+		f(lo, hi)
+	}
+	if s.Workers > 1 && cells >= parallelMinCells && nc > 1 {
+		s.ensurePool()
+		s.pool.run(run, nc)
+		return
+	}
+	for c := 0; c < nc; c++ {
+		run(c)
+	}
+}
+
 // sumPartials reduces the per-chunk partials in chunk order. The fixed
 // order is what makes the result independent of worker scheduling.
 func (s *Solver) sumPartials() float64 {

@@ -64,6 +64,11 @@ type Solver struct {
 	// Hook, when non-nil, is consulted at the start of every solve (see
 	// SolveHook). The fault injector installs itself here.
 	Hook SolveHook
+	// DefaultPrecond selects the preconditioner for solves that don't
+	// pick one via SolveOpts.Precond. PrecondAuto (the zero value)
+	// resolves to PrecondMG — the multigrid V-cycle is the default;
+	// Jacobi remains selectable as the fallback/baseline.
+	DefaultPrecond Precond
 	// Workers is the number of goroutines the CG kernels may use for
 	// solves at or above parallelMinCells cells (0 or 1 = serial). The
 	// kernel pool is started lazily on the first parallel solve and
@@ -74,11 +79,22 @@ type Solver struct {
 	// parallel solve; see parallel.go).
 	pool *kernelPool
 
+	// levels is the multigrid hierarchy (levels[0] aliases the solver's
+	// own operator arrays; see multigrid.go). Operators are immutable
+	// and shared across Clone; scratch is per-solver.
+	levels []*mgLevel
+	// shiftValid/shiftCached cache the shift the levels' sdiag slices
+	// were last materialised for (see ensureShifted).
+	shiftValid  bool
+	shiftCached float64
+
 	// LastIters and LastResidual report the iteration count and final
 	// relative residual of the most recent solve (including failed
-	// ones), for diagnostics and degradation reporting.
+	// ones), for diagnostics and degradation reporting. LastVCycles is
+	// the number of multigrid V-cycles the solve spent (0 under Jacobi).
 	LastIters    int
 	LastResidual float64
+	LastVCycles  int
 }
 
 // NewSolver assembles the network. The model must Validate cleanly.
@@ -107,6 +123,7 @@ func NewSolver(m *Model) (*Solver, error) {
 	s.ap = make([]float64, s.n)
 	s.partial = make([]float64, numChunks(s.n))
 	s.assemble()
+	s.buildHierarchy()
 	return s, nil
 }
 
@@ -116,28 +133,33 @@ func NewSolver(m *Model) (*Solver, error) {
 // clone is cheap and the original and clone may solve concurrently.
 func (s *Solver) Clone() *Solver {
 	c := &Solver{
-		m:         s.m,
-		rows:      s.rows,
-		cols:      s.cols,
-		nPerLayer: s.nPerLayer,
-		n:         s.n,
-		gUp:       s.gUp,
-		gRight:    s.gRight,
-		gFront:    s.gFront,
-		diag:      s.diag,
-		gAmb:      s.gAmb,
-		capacity:  s.capacity,
-		Tol:       s.Tol,
-		MaxIter:   s.MaxIter,
-		MaxTime:   s.MaxTime,
-		Hook:      s.Hook,
-		Workers:   s.Workers,
+		m:              s.m,
+		rows:           s.rows,
+		cols:           s.cols,
+		nPerLayer:      s.nPerLayer,
+		n:              s.n,
+		gUp:            s.gUp,
+		gRight:         s.gRight,
+		gFront:         s.gFront,
+		diag:           s.diag,
+		gAmb:           s.gAmb,
+		capacity:       s.capacity,
+		Tol:            s.Tol,
+		MaxIter:        s.MaxIter,
+		MaxTime:        s.MaxTime,
+		Hook:           s.Hook,
+		Workers:        s.Workers,
+		DefaultPrecond: s.DefaultPrecond,
 	}
 	c.r = make([]float64, c.n)
 	c.z = make([]float64, c.n)
 	c.p = make([]float64, c.n)
 	c.ap = make([]float64, c.n)
 	c.partial = make([]float64, numChunks(c.n))
+	c.levels = make([]*mgLevel, len(s.levels))
+	for i, l := range s.levels {
+		c.levels[i] = l.cloneScratch(i > 0)
+	}
 	return c
 }
 
@@ -214,79 +236,67 @@ func (s *Solver) assemble() {
 	}
 }
 
-// applyRange computes y[lo:hi] = ((G + shift·C)·x)[lo:hi] where G is
-// the conductance matrix. shift is 0 for steady-state solves; for
-// backward-Euler steps it is 1/dt so the diagonal gains C/dt. The
-// stencil reads x outside [lo, hi) (neighbour cells) but only writes
-// inside it, so disjoint ranges run concurrently.
-func (s *Solver) applyRange(x, y []float64, shift float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		d := s.diag[i]
-		if shift != 0 {
-			d += shift * s.capacity[i]
-		}
-		acc := d * x[i]
-		if g := s.gRight[i]; g != 0 {
-			acc -= g * x[i+1]
-		}
-		if g := s.gFront[i]; g != 0 {
-			acc -= g * x[i+s.cols]
-		}
-		// Symmetric counterparts.
-		c := i % s.nPerLayer
-		row, col := c/s.cols, c%s.cols
-		if col > 0 {
-			acc -= s.gRight[i-1] * x[i-1]
-		}
-		if row > 0 {
-			acc -= s.gFront[i-s.cols] * x[i-s.cols]
-		}
-		li := i / s.nPerLayer
-		if li+1 < len(s.m.Layers) {
-			if g := s.gUp[i]; g != 0 {
-				acc -= g * x[i+s.nPerLayer]
-			}
-		}
-		if li > 0 {
-			if g := s.gUp[i-s.nPerLayer]; g != 0 {
-				acc -= g * x[i-s.nPerLayer]
-			}
-		}
-		y[i] = acc
-	}
-}
-
 // Divergence detection thresholds for the CG loops. On an SPD system the
 // preconditioned residual is near-monotone; a residual that grows by
 // divergeGrowth over the best seen, or fails to improve on the best for
-// stagnationWindow iterations, marks a solve that will never converge
-// (broken matrix, fault injection, accumulated round-off).
+// the stagnation window, marks a solve that will never converge (broken
+// matrix, fault injection, accumulated round-off).
 const (
 	divergeGrowth    = 1e6
 	stagnationWindow = 2000
+	// stagnationFloor bounds how small a budget-scaled stagnation window
+	// may get: below it, the normal non-monotone wiggle of a healthy CG
+	// residual would be misread as stagnation.
+	stagnationFloor = 64
 	// checkEvery paces the cancellation/time-budget checks so the hot
 	// loop stays branch-cheap.
 	checkEvery = 64
 )
 
+// stagnationWindowFor scales the stagnation window to the solve's
+// iteration budget: a multigrid-preconditioned solve or a fault-collapsed
+// budget lives in tens of iterations, where waiting the full 2000-iter
+// window to report stagnation would be absurd.
+func stagnationWindowFor(maxIter int) int {
+	win := stagnationWindow
+	if w := maxIter / 4; w < win {
+		win = w
+	}
+	if win < stagnationFloor {
+		win = stagnationFloor
+	}
+	return win
+}
+
 // cg solves (G + shift·C)·x = b in place, starting from the current
-// contents of x (a warm start), using Jacobi-preconditioned conjugate
-// gradients. tol is the relative-residual tolerance (≤0 falls back to
-// s.Tol); it is a parameter, not solver state, so concurrent callers can
-// relax individual solves without racing. It returns the iteration
-// count. Failures carry the fault taxonomy: errors.Is(err,
-// fault.ErrDiverged) for breakdown, divergence or stagnation;
-// fault.ErrBudget for iteration/time-budget exhaustion; ctx errors for
-// cancellation.
+// contents of x (a warm start), using preconditioned conjugate
+// gradients. opts carries the per-call tolerance (≤0 falls back to
+// s.Tol) and preconditioner choice; both are parameters, not solver
+// state, so concurrent callers can vary individual solves without
+// racing. It returns the iteration count. Failures carry the fault
+// taxonomy: errors.Is(err, fault.ErrDiverged) for breakdown, divergence
+// or stagnation; fault.ErrBudget for iteration/time-budget exhaustion;
+// ctx errors for cancellation.
 //
-// Every kernel runs over the fixed chunks of parallel.go with partials
-// reduced in chunk order, so the arithmetic — and therefore the iterate,
-// the residual history and the iteration count — is bitwise-identical
-// for any Workers setting.
-func (s *Solver) cg(ctx context.Context, b, x []float64, shift, tol float64) (int, error) {
+// Every kernel — including the multigrid V-cycle's smoothing, transfer
+// and residual kernels — runs over the fixed chunks of parallel.go with
+// partials reduced in chunk order, so the arithmetic — and therefore the
+// iterate, the residual history and the iteration count — is
+// bitwise-identical for any Workers setting.
+func (s *Solver) cg(ctx context.Context, b, x []float64, shift float64, opts SolveOpts) (int, error) {
+	tol := opts.Tol
 	if tol <= 0 {
 		tol = s.Tol
 	}
+	pc := opts.Precond
+	if pc == PrecondAuto {
+		pc = s.DefaultPrecond
+	}
+	if pc == PrecondAuto {
+		pc = PrecondMG
+	}
+	vcycles := 0
+	defer func() { s.LastVCycles = vcycles }()
 	maxIter, injected := s.MaxIter, false
 	if s.Hook != nil {
 		mi, err := s.Hook()
@@ -304,10 +314,12 @@ func (s *Solver) cg(ctx context.Context, b, x []float64, shift, tol float64) (in
 	if s.MaxTime > 0 {
 		start = time.Now()
 	}
+	s.ensureShifted(shift)
+	lvl := s.levels[0]
 	// r = b − A·x ; ‖b‖².
 	s.runChunks(func(c int) {
 		lo, hi := s.chunkBounds(c)
-		s.applyRange(x, s.ap, shift, lo, hi)
+		lvl.applyRange(x, s.ap, lo, hi)
 		pp := 0.0
 		for i := lo; i < hi; i++ {
 			s.r[i] = b[i] - s.ap[i]
@@ -323,17 +335,28 @@ func (s *Solver) cg(ctx context.Context, b, x []float64, shift, tol float64) (in
 		s.LastIters, s.LastResidual = 0, 0
 		return 0, nil
 	}
-	// precondDot: z = M⁻¹·r fused with the r·z reduction.
+	// precondDot: z = M⁻¹·r, then the r·z reduction. Jacobi divides by
+	// the (pre-shifted) diagonal fused with the reduction; MG runs one
+	// V-cycle and reduces separately.
 	precondDot := func() float64 {
+		if pc == PrecondMG {
+			s.vcycle(0, s.r, s.z)
+			vcycles++
+			s.runChunks(func(c int) {
+				lo, hi := s.chunkBounds(c)
+				pp := 0.0
+				for i := lo; i < hi; i++ {
+					pp += s.r[i] * s.z[i]
+				}
+				s.partial[c] = pp
+			})
+			return s.sumPartials()
+		}
 		s.runChunks(func(c int) {
 			lo, hi := s.chunkBounds(c)
 			pp := 0.0
 			for i := lo; i < hi; i++ {
-				d := s.diag[i]
-				if shift != 0 {
-					d += shift * s.capacity[i]
-				}
-				z := s.r[i] / d
+				z := s.r[i] / lvl.sdiag[i]
 				s.z[i] = z
 				pp += s.r[i] * z
 			}
@@ -343,6 +366,7 @@ func (s *Solver) cg(ctx context.Context, b, x []float64, shift, tol float64) (in
 	}
 	rz := precondDot()
 	copy(s.p, s.z)
+	stagWin := stagnationWindowFor(maxIter)
 	bestRel, bestIter, rel := math.Inf(1), 0, math.Inf(1)
 	for iter := 1; iter <= maxIter; iter++ {
 		if iter%checkEvery == 0 {
@@ -363,7 +387,7 @@ func (s *Solver) cg(ctx context.Context, b, x []float64, shift, tol float64) (in
 		// ap = A·p fused with the p·ap reduction.
 		s.runChunks(func(c int) {
 			lo, hi := s.chunkBounds(c)
-			s.applyRange(s.p, s.ap, shift, lo, hi)
+			lvl.applyRange(s.p, s.ap, lo, hi)
 			pp := 0.0
 			for i := lo; i < hi; i++ {
 				pp += s.p[i] * s.ap[i]
@@ -400,7 +424,7 @@ func (s *Solver) cg(ctx context.Context, b, x []float64, shift, tol float64) (in
 		}
 		if rel < bestRel {
 			bestRel, bestIter = rel, iter
-		} else if rel > divergeGrowth*bestRel || iter-bestIter > stagnationWindow {
+		} else if rel > divergeGrowth*bestRel || iter-bestIter > stagWin {
 			s.LastIters, s.LastResidual = iter, rel
 			detail := "residual stagnated"
 			if rel > divergeGrowth*bestRel {
@@ -483,6 +507,11 @@ type SolveOpts struct {
 	// the uniform-ambient cold start. CG converges to the same tolerance
 	// from any start; a nearby seed just takes fewer iterations.
 	Warm Temperature
+	// Precond overrides the preconditioner for this solve only
+	// (PrecondAuto = use Solver.DefaultPrecond, which defaults to the
+	// multigrid V-cycle). The Jacobi/MG cross-check tests and the
+	// parbench comparison mode select per solve through here.
+	Precond Precond
 }
 
 // SteadyStateOpts is SteadyStateCtx with per-solve options.
@@ -513,7 +542,7 @@ func (s *Solver) SteadyStateOpts(ctx context.Context, power PowerMap, opts Solve
 			x[i] = s.m.Ambient // cold start at ambient
 		}
 	}
-	if _, err := s.cg(ctx, b, x, 0, opts.Tol); err != nil {
+	if _, err := s.cg(ctx, b, x, 0, opts); err != nil {
 		return nil, err
 	}
 	return s.fieldFromVector(x), nil

@@ -158,12 +158,16 @@ func TestSteadyStateSymmetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := m.Grid
+	// Symmetry holds to solver tolerance, not bitwise: the multigrid
+	// preconditioner's 2x2 planar aggregation is anchored at the
+	// top-left corner, so the *iteration* (unlike Jacobi's) is not
+	// itself reflection-symmetric — only the converged field is.
 	for r := 0; r < 9; r++ {
 		for c := 0; c < 9; c++ {
 			a := temps[0][g.Index(r, c)]
 			b := temps[0][g.Index(8-r, c)]
 			d := temps[0][g.Index(r, 8-c)]
-			if math.Abs(a-b) > 1e-7 || math.Abs(a-d) > 1e-7 {
+			if math.Abs(a-b) > 1e-6 || math.Abs(a-d) > 1e-6 {
 				t.Fatalf("asymmetry at (%d,%d): %.9f / %.9f / %.9f", r, c, a, b, d)
 			}
 		}

@@ -50,6 +50,15 @@ func (ts *TransientState) Step(power PowerMap, dt float64) error {
 // solve. A cancelled step leaves the field at its pre-step values and
 // does not advance Time.
 func (ts *TransientState) StepCtx(ctx context.Context, power PowerMap, dt float64) error {
+	return ts.StepOpts(ctx, power, dt, SolveOpts{})
+}
+
+// StepOpts is StepCtx with per-solve options (tolerance, preconditioner
+// — the warm start is always the current field and Warm is ignored).
+// The backward-Euler shift 1/dt flows into every multigrid level's
+// shifted diagonal, so MG preconditioning serves transient stepping and
+// the leakage fixed point alike.
+func (ts *TransientState) StepOpts(ctx context.Context, power PowerMap, dt float64, opts SolveOpts) error {
 	if dt <= 0 {
 		return fmt.Errorf("thermal: non-positive time step %g", dt)
 	}
@@ -76,7 +85,8 @@ func (ts *TransientState) StepCtx(ctx context.Context, power PowerMap, dt float6
 	// may have scribbled on the warm-start vector, so snapshot it and
 	// roll back on error — a degraded pipeline keeps a valid field.
 	prev := append([]float64(nil), ts.x...)
-	if _, err := s.cg(ctx, b, ts.x, inv, 0); err != nil {
+	opts.Warm = nil
+	if _, err := s.cg(ctx, b, ts.x, inv, opts); err != nil {
 		copy(ts.x, prev)
 		return err
 	}
