@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke figures faults-smoke examples clean
+.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke profile figures faults-smoke examples clean
 
 all: build vet test
 
@@ -49,6 +49,17 @@ bench-parallel:
 # both table-identity checks hold.
 mg-smoke:
 	$(GO) run ./cmd/xylem parbench -check -grid 16 -apps lu-nas,fft -instr 60000 -freqs 2.4,3.5 -o /tmp/bench_mg_smoke.json
+
+# CI gate for the batched multi-RHS solver: the same short parbench at
+# an explicit batch width; -check also fails unless the batched tables
+# are byte-identical to the per-point tables at every worker count.
+batch-smoke:
+	$(GO) run ./cmd/xylem parbench -check -batch 4 -grid 16 -apps lu-nas,fft,is -instr 60000 -freqs 2.4,3.5 -o /tmp/bench_batch_smoke.json
+
+# CPU+heap profile of a batched Figure 7 sweep; inspect with
+# `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/xylem figure -id 7 -grid 24 -apps lu-nas,fft,is -batch 4 -cpuprofile cpu.prof -memprofile mem.prof
 
 # Individual figures through the CLI, e.g. `make figures FIG=8`.
 FIG ?= 8

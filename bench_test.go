@@ -13,6 +13,7 @@
 package xylem
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -342,6 +343,64 @@ func BenchmarkThermalSteadyState(b *testing.B) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// BenchmarkThermalSteadyStateBatch prices the multi-RHS batched solver
+// against k sequential solves of the same right-hand sides: the
+// "seq/kN" sub-benchmarks run N single-RHS solves, the "batch/kN" ones
+// run one N-column SteadyStateBatch — bitwise the same answers (see
+// internal/thermal/batch_test.go), so the ratio is pure amortisation of
+// the shared operator sweeps.
+func BenchmarkThermalSteadyStateBatch(b *testing.B) {
+	grids := []int{24, 64}
+	if testing.Short() {
+		grids = []int{24}
+	}
+	for _, n := range grids {
+		cfg := stack.DefaultConfig()
+		cfg.GridRows, cfg.GridCols = n, n
+		st, err := stack.Build(cfg, stack.BankE)
+		if err != nil {
+			b.Fatal(err)
+		}
+		solver, err := thermal.NewSolver(st.Model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer solver.Close()
+		for _, k := range []int{1, 4, 8} {
+			pms := make([]thermal.PowerMap, k)
+			for j := range pms {
+				pm := st.Model.NewPowerMap()
+				for c := 0; c < 8; c++ {
+					pm.AddBlock(st.Model.Grid, st.ProcMetalLayer, st.Proc.CoreRect(c), 1.5+0.5*float64((j+c)%4))
+				}
+				pms[j] = pm
+			}
+			b.Run(fmt.Sprintf("grid%d/seq/k%d", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, pm := range pms {
+						if _, err := solver.SteadyState(pm); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("grid%d/batch/k%d", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := solver.SteadyStateBatch(context.Background(), pms, thermal.BatchOpts{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, err := range res.Errs {
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
 		}
 	}
 }

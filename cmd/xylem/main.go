@@ -63,6 +63,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xylem:", err)
 		os.Exit(1)
@@ -83,29 +84,46 @@ func usage() {
   parbench   time the Figure 7 sweep serial vs parallel vs warm-started`)
 }
 
-// optFlags registers the shared experiment flags on a FlagSet.
-func optFlags(fs *flag.FlagSet) (apps *string, grid, instr, workers *int, freqs, precond *string) {
-	apps = fs.String("apps", "", "comma-separated application subset (default: all 17)")
-	grid = fs.Int("grid", 32, "thermal grid resolution (NxN)")
-	instr = fs.Int("instr", 0, "per-thread instruction budget (0 = profile default)")
-	workers = fs.Int("workers", 0, "concurrent experiment points (0 = all CPUs, 1 = serial)")
-	freqs = fs.String("freqs", "2.4,2.8,3.2,3.5", "frequencies for temperature sweeps (GHz)")
-	precond = fs.String("precond", "", "CG preconditioner: auto (multigrid), mg, or jacobi")
-	return
+// cliOpts holds the shared experiment flags registered by optFlags.
+type cliOpts struct {
+	apps, freqs, precond        *string
+	grid, instr, workers, batch *int
+	cpuprofile, memprofile      *string
 }
 
-func buildOptions(apps string, grid, instr, workers int, freqs, precond string) (exp.Options, error) {
-	o := exp.DefaultOptions()
-	if apps != "" {
-		o.Apps = strings.Split(apps, ",")
+// optFlags registers the shared experiment flags on a FlagSet.
+func optFlags(fs *flag.FlagSet) *cliOpts {
+	return &cliOpts{
+		apps:       fs.String("apps", "", "comma-separated application subset (default: all 17)"),
+		grid:       fs.Int("grid", 32, "thermal grid resolution (NxN)"),
+		instr:      fs.Int("instr", 0, "per-thread instruction budget (0 = profile default)"),
+		workers:    fs.Int("workers", 0, "concurrent experiment points (0 = all CPUs, 1 = serial)"),
+		batch:      fs.Int("batch", 0, "multi-RHS thermal batch width (0 or 1 = per-point solves)"),
+		freqs:      fs.String("freqs", "2.4,2.8,3.2,3.5", "frequencies for temperature sweeps (GHz)"),
+		precond:    fs.String("precond", "", "CG preconditioner: auto (multigrid), mg, or jacobi"),
+		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile to this path"),
+		memprofile: fs.String("memprofile", "", "write a heap profile to this path at exit"),
 	}
-	o.GridRows, o.GridCols = grid, grid
-	o.Instructions = instr
-	o.Workers = workers
-	o.Precond = precond
-	if freqs != "" {
+}
+
+// options builds exp.Options from the parsed flags (and starts any
+// requested profiling — call after fs.Parse).
+func (c *cliOpts) options() (exp.Options, error) {
+	if err := startProfiles(*c.cpuprofile, *c.memprofile); err != nil {
+		return exp.Options{}, err
+	}
+	o := exp.DefaultOptions()
+	if *c.apps != "" {
+		o.Apps = strings.Split(*c.apps, ",")
+	}
+	o.GridRows, o.GridCols = *c.grid, *c.grid
+	o.Instructions = *c.instr
+	o.Workers = *c.workers
+	o.BatchWidth = *c.batch
+	o.Precond = *c.precond
+	if *c.freqs != "" {
 		o.Freqs = nil
-		for _, s := range strings.Split(freqs, ",") {
+		for _, s := range strings.Split(*c.freqs, ",") {
 			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 			if err != nil {
 				return exp.Options{}, fmt.Errorf("bad frequency %q", s)
@@ -117,11 +135,11 @@ func buildOptions(apps string, grid, instr, workers int, freqs, precond string) 
 }
 
 func newRunner(fs *flag.FlagSet, args []string) (*exp.Runner, error) {
-	apps, grid, instr, workers, freqs, precond := optFlags(fs)
+	c := optFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs, *precond)
+	o, err := c.options()
 	if err != nil {
 		return nil, err
 	}
@@ -149,14 +167,14 @@ func cmdFigureFlag(args []string) error {
 	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
 	id := fs.String("id", "", "figure id: 7..19, area, refresh, d2d, profile, workloads, or org")
 	csvPath := fs.String("csv", "", "also write the table as CSV to this path")
-	apps, grid, instr, workers, freqs, precond := optFlags(fs)
+	c := optFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" {
 		return fmt.Errorf("figure: -id required")
 	}
-	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs, *precond)
+	o, err := c.options()
 	if err != nil {
 		return err
 	}
@@ -195,6 +213,10 @@ func runFigure(r *exp.Runner, id string) error {
 	if d.Solves > 0 {
 		fmt.Printf("solver work: %d solves, %d CG iters, %d V-cycles, %d degraded; iters/solve %s\n",
 			d.Solves, d.SolveIters, d.VCycles, d.DegradedSolves, d.IterHist)
+	}
+	if d.BatchedSolves > 0 {
+		fmt.Printf("batched solves: %d calls over %d columns, %d deflated early; occupancy %s\n",
+			d.BatchedSolves, d.BatchedColumns, d.DeflatedColumns, d.BatchOcc)
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ type parbenchConfig struct {
 	Name     string  `json:"name"`
 	Precond  string  `json:"precond"`
 	Workers  int     `json:"workers"`
+	Batch    int     `json:"batch"`
 	Warm     bool    `json:"warm"`
 	WallS    float64 `json:"wall_s"`
 	Solves   int     `json:"solves"`
@@ -23,6 +24,12 @@ type parbenchConfig struct {
 	VCycles  int64   `json:"vcycles"`
 	Degraded int     `json:"degraded_solves"`
 	IterHist string  `json:"iter_hist"`
+	// Batch-path accounting (zero for per-point configs): batched
+	// multi-RHS calls issued, columns retired before the batch finished,
+	// and the occupancy histogram of columns per call.
+	BatchedSolves   int    `json:"batched_solves,omitempty"`
+	DeflatedColumns int64  `json:"deflated_columns,omitempty"`
+	BatchOcc        string `json:"batch_occupancy,omitempty"`
 }
 
 // parbenchReport is the JSON summary written by `xylem parbench`: the
@@ -50,54 +57,99 @@ type parbenchReport struct {
 
 	// SpeedupMG compares like with like: MG serial warm vs Jacobi
 	// serial warm. SpeedupParallel is MG parallel warm vs MG serial warm.
+	// SpeedupBatch is batched MG serial vs per-point MG serial — the
+	// multi-RHS amortisation alone, no kernel parallelism involved.
 	SpeedupMG       float64 `json:"speedup_mg"`
 	SpeedupParallel float64 `json:"speedup_parallel"`
+	BatchWidth      int     `json:"batch_width"`
+	SpeedupBatch    float64 `json:"speedup_batch"`
 
 	// TablesMatchJacobi: the MG sweep rendered the same tables as the
 	// Jacobi sweep (print precision absorbs the tolerance-level solver
 	// differences). TablesByteIdenticalWorkers: the parallel MG sweep
 	// rendered byte-identical tables to the serial MG sweep.
-	TablesMatchJacobi          bool `json:"tables_match_jacobi"`
-	TablesByteIdenticalWorkers bool `json:"tables_byte_identical_workers"`
+	// TablesMatchBatch: the batched MG sweep rendered byte-identical
+	// tables to the per-point MG sweep (the batch contract is bitwise,
+	// so this is equality, not print-precision). The BatchWorkers variant
+	// compares batched serial against batched parallel.
+	TablesMatchJacobi               bool `json:"tables_match_jacobi"`
+	TablesByteIdenticalWorkers      bool `json:"tables_byte_identical_workers"`
+	TablesMatchBatch                bool `json:"tables_match_batch"`
+	TablesByteIdenticalBatchWorkers bool `json:"tables_byte_identical_batch_workers"`
 }
 
-// cmdParbench times the Figure 7 temperature sweep under three engine
-// configurations, each on a fresh Runner so no caches carry over:
+// cmdParbench times the Figure 7 temperature sweep under five engine
+// configurations, each on a fresh Runner (no solver state carries over):
 //
-//  1. jacobi:      Workers=1, warm-started, Jacobi-preconditioned CG
-//  2. mg:          Workers=1, warm-started, multigrid-preconditioned CG
-//  3. mg-parallel: Workers=N, warm-started, multigrid
+//  1. jacobi:            Workers=1, warm-started, Jacobi-preconditioned CG
+//  2. mg:                Workers=1, warm-started, multigrid-preconditioned CG
+//  3. mg-parallel:       Workers=N, warm-started, multigrid
+//  4. mg-batch:          Workers=1, multigrid, batched multi-RHS solves
+//  5. mg-batch-parallel: Workers=N, multigrid, batched multi-RHS solves
 //
-// It verifies the MG tables match Jacobi's at print precision and the
-// parallel tables are byte-identical to the serial ones, then writes a
-// JSON summary with wall times, iteration totals and V-cycle counts.
-// With -check it exits non-zero when multigrid fails to cut iterations
-// or either table check fails — the CI smoke gate.
+// Workload activity (the cpusim traces) is identical across all five —
+// it depends on the simulated architecture, never on the solver — so an
+// untimed warm-up pass populates one shared activity cache first and
+// every timed run draws from it. The walls therefore price exactly what
+// parbench compares: solver configurations, not repeated identical
+// trace simulation.
+//
+// It verifies the MG tables match Jacobi's at print precision, and that
+// the parallel and batched runs are byte-identical to the serial
+// per-point MG run, then writes a JSON summary with wall times,
+// iteration totals and V-cycle counts. With -check it exits non-zero
+// when multigrid fails to cut iterations or any table check fails — the
+// CI smoke gate (timing ratios are reported but never gated; wall time
+// is too noisy in CI).
 func cmdParbench(args []string) error {
 	fs := flag.NewFlagSet("parbench", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_parallel.json", "write the JSON summary to this path")
 	check := fs.Bool("check", false, "exit non-zero unless MG cuts CG iterations and tables match")
-	apps, grid, instr, workers, freqs, _ := optFlags(fs)
+	c := optFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o, err := buildOptions(*apps, *grid, *instr, *workers, *freqs, "")
+	*c.precond = ""
+	o, err := c.options()
 	if err != nil {
 		return err
 	}
-	par := *workers
+	par := o.Workers
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	// Batched configs default to one batch per sweep — every app of a
+	// scheme's sweep in a single multi-RHS call (best occupancy, no
+	// single-column remainder) — floored at the 4-wide amortisation
+	// sweet spot.
+	width := o.BatchWidth
+	if width <= 1 {
+		width = len(o.Apps)
+		if width < 4 {
+			width = 4
+		}
+	}
 
-	run := func(name, precond string, workers int) (parbenchConfig, string, error) {
+	// The untimed warm-up run: populates the shared activity cache (and
+	// is otherwise discarded).
+	warm, err := exp.NewRunner(o)
+	if err != nil {
+		return err
+	}
+	if _, _, err := warm.Figure7(); err != nil {
+		return fmt.Errorf("warm-up run: %w", err)
+	}
+
+	run := func(name, precond string, workers, batch int) (parbenchConfig, string, error) {
 		oo := o
 		oo.Workers = workers
 		oo.Precond = precond
+		oo.BatchWidth = batch
 		r, err := exp.NewRunner(oo)
 		if err != nil {
 			return parbenchConfig{}, "", err
 		}
+		r.Sys.Ev.ShareActivityCache(warm.Sys.Ev)
 		start := time.Now()
 		_, tab, err := r.Figure7()
 		if err != nil {
@@ -105,60 +157,80 @@ func cmdParbench(args []string) error {
 		}
 		wall := time.Since(start)
 		st := r.Sys.Ev.Stats()
-		c := parbenchConfig{
-			Name: name, Precond: precond, Workers: workers, Warm: true,
+		cfg := parbenchConfig{
+			Name: name, Precond: precond, Workers: workers, Batch: batch, Warm: true,
 			WallS: wall.Seconds(), Solves: st.Solves, CGIters: st.SolveIters,
 			VCycles: st.VCycles, Degraded: st.DegradedSolves,
-			IterHist: st.IterHist.String(),
+			IterHist:      st.IterHist.String(),
+			BatchedSolves: st.BatchedSolves, DeflatedColumns: st.DeflatedColumns,
 		}
-		return c, tab.String(), nil
+		if st.BatchedSolves > 0 {
+			cfg.BatchOcc = st.BatchOcc.String()
+		}
+		return cfg, tab.String(), nil
 	}
 
-	fmt.Printf("parbench: Figure 7 on a %dx%d grid, %d workers (GOMAXPROCS %d)\n",
-		o.GridRows, o.GridCols, par, runtime.GOMAXPROCS(0))
+	fmt.Printf("parbench: Figure 7 on a %dx%d grid, %d workers (GOMAXPROCS %d), batch width %d\n",
+		o.GridRows, o.GridCols, par, runtime.GOMAXPROCS(0), width)
 
 	show := func(c parbenchConfig) {
-		fmt.Printf("  %-12s %8.2fs  %6d CG iters  %6d V-cycles  iters/solve %s\n",
+		fmt.Printf("  %-17s %8.2fs  %6d CG iters  %6d V-cycles  iters/solve %s\n",
 			c.Name, c.WallS, c.CGIters, c.VCycles, c.IterHist)
 	}
 
-	jac, jacTab, err := run("jacobi", "jacobi", 1)
+	jac, jacTab, err := run("jacobi", "jacobi", 1, 0)
 	if err != nil {
 		return fmt.Errorf("jacobi run: %w", err)
 	}
 	show(jac)
-	mg, mgTab, err := run("mg", "mg", 1)
+	mg, mgTab, err := run("mg", "mg", 1, 0)
 	if err != nil {
 		return fmt.Errorf("mg run: %w", err)
 	}
 	show(mg)
-	mgPar, mgParTab, err := run("mg-parallel", "mg", par)
+	mgPar, mgParTab, err := run("mg-parallel", "mg", par, 0)
 	if err != nil {
 		return fmt.Errorf("mg parallel run: %w", err)
 	}
 	show(mgPar)
+	mgBatch, mgBatchTab, err := run("mg-batch", "mg", 1, width)
+	if err != nil {
+		return fmt.Errorf("mg batch run: %w", err)
+	}
+	show(mgBatch)
+	mgBatchPar, mgBatchParTab, err := run("mg-batch-parallel", "mg", par, width)
+	if err != nil {
+		return fmt.Errorf("mg batch parallel run: %w", err)
+	}
+	show(mgBatchPar)
 
 	rep := parbenchReport{
-		Grid:                       o.GridRows,
-		Apps:                       o.Apps,
-		FreqsGHz:                   o.Freqs,
-		Workers:                    par,
-		GOMAXPROCS:                 runtime.GOMAXPROCS(0),
-		Configs:                    []parbenchConfig{jac, mg, mgPar},
-		CGItersJacobi:              jac.CGIters,
-		CGItersMG:                  mg.CGIters,
-		MGVCycles:                  mg.VCycles,
-		SpeedupMG:                  jac.WallS / mg.WallS,
-		SpeedupParallel:            mg.WallS / mgPar.WallS,
-		TablesMatchJacobi:          mgTab == jacTab,
-		TablesByteIdenticalWorkers: mgTab == mgParTab,
+		Grid:       o.GridRows,
+		Apps:       o.Apps,
+		FreqsGHz:   o.Freqs,
+		Workers:    par,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Configs:    []parbenchConfig{jac, mg, mgPar, mgBatch, mgBatchPar},
+
+		CGItersJacobi:   jac.CGIters,
+		CGItersMG:       mg.CGIters,
+		MGVCycles:       mg.VCycles,
+		SpeedupMG:       jac.WallS / mg.WallS,
+		SpeedupParallel: mg.WallS / mgPar.WallS,
+		BatchWidth:      width,
+		SpeedupBatch:    mg.WallS / mgBatch.WallS,
+
+		TablesMatchJacobi:               mgTab == jacTab,
+		TablesByteIdenticalWorkers:      mgTab == mgParTab,
+		TablesMatchBatch:                mgTab == mgBatchTab,
+		TablesByteIdenticalBatchWorkers: mgBatchTab == mgBatchParTab,
 	}
 	if mg.CGIters > 0 {
 		rep.MGIterReduction = float64(jac.CGIters) / float64(mg.CGIters)
 	}
 
-	fmt.Printf("  multigrid: %.1fx fewer CG iterations, %.2fx faster serial; parallel %.2fx on top\n",
-		rep.MGIterReduction, rep.SpeedupMG, rep.SpeedupParallel)
+	fmt.Printf("  multigrid: %.1fx fewer CG iterations, %.2fx faster serial; parallel %.2fx on top; batched %.2fx at width %d\n",
+		rep.MGIterReduction, rep.SpeedupMG, rep.SpeedupParallel, rep.SpeedupBatch, width)
 	if rep.TablesMatchJacobi {
 		fmt.Println("  tables match jacobi at print precision")
 	} else {
@@ -168,6 +240,16 @@ func cmdParbench(args []string) error {
 		fmt.Println("  tables byte-identical serial vs parallel")
 	} else {
 		fmt.Println("  WARNING: parallel tables are NOT byte-identical to serial")
+	}
+	if rep.TablesMatchBatch {
+		fmt.Println("  tables byte-identical per-point vs batched")
+	} else {
+		fmt.Println("  WARNING: batched tables are NOT byte-identical to per-point")
+	}
+	if rep.TablesByteIdenticalBatchWorkers {
+		fmt.Println("  tables byte-identical batched serial vs batched parallel")
+	} else {
+		fmt.Println("  WARNING: batched parallel tables are NOT byte-identical to batched serial")
 	}
 
 	f, err := os.Create(*out)
@@ -192,6 +274,12 @@ func cmdParbench(args []string) error {
 		}
 		if !rep.TablesByteIdenticalWorkers {
 			return fmt.Errorf("check failed: parallel tables not byte-identical to serial")
+		}
+		if !rep.TablesMatchBatch {
+			return fmt.Errorf("check failed: batched tables not byte-identical to per-point")
+		}
+		if !rep.TablesByteIdenticalBatchWorkers {
+			return fmt.Errorf("check failed: batched parallel tables not byte-identical to batched serial")
 		}
 	}
 	return nil

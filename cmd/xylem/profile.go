@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileStop, when non-nil, finishes profiling: it stops the CPU
+// profile and/or writes the heap profile. main runs it after the
+// subcommand returns, success or failure.
+var profileStop func() error
+
+// startProfiles begins CPU profiling and/or arranges a heap snapshot at
+// exit, per the -cpuprofile/-memprofile flags. Empty paths are no-ops.
+func startProfiles(cpuPath, memPath string) error {
+	if cpuPath == "" && memPath == "" {
+		return nil
+	}
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuFile = f
+	}
+	profileStop = func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "xylem: wrote CPU profile to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so the snapshot shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "xylem: wrote heap profile to %s\n", memPath)
+		}
+		return nil
+	}
+	return nil
+}
+
+// stopProfiles runs the pending profile finisher, if any.
+func stopProfiles() {
+	if profileStop == nil {
+		return
+	}
+	if err := profileStop(); err != nil {
+		fmt.Fprintln(os.Stderr, "xylem: profile:", err)
+	}
+	profileStop = nil
+}

@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
+	"github.com/xylem-sim/xylem/internal/workload"
+)
+
+// Deterministic batch planning. A batched thermal solve needs all of
+// its columns on one stack, so the figure drivers group their points by
+// scheme and split each scheme's app list into contiguous runs of at
+// most BatchWidth. The plan is a pure function of the (ordered) point
+// list — never of timing, worker count or completion order — so the
+// same options always produce the same batches, and every batch writes
+// its results into serial-order-indexed slots exactly like the
+// per-point runIndexed path. Dynamic (timing-based) batching was
+// rejected on purpose: it would make batch membership, and with it the
+// deflation schedule and the stats, depend on the race between workers,
+// trading reproducibility for a negligible occupancy win.
+
+// batchPartition splits [0, n) into contiguous half-open runs of at
+// most w items. w ≤ 1 yields singleton runs (the per-point plan).
+func batchPartition(n, w int) [][2]int {
+	if w < 1 {
+		w = 1
+	}
+	out := make([][2]int, 0, (n+w-1)/w)
+	for lo := 0; lo < n; lo += w {
+		hi := lo + w
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// schemeBatch is one unit of batched figure work: the apps[lo:hi) run
+// of one scheme.
+type schemeBatch struct {
+	k    stack.SchemeKind
+	kIdx int
+	lo   int
+	hi   int
+}
+
+// planSchemeBatches lays out the batch items for every (scheme, app
+// run) pair — scheme-major, app runs in order, so the item list itself
+// is deterministic.
+func planSchemeBatches(schemes []stack.SchemeKind, nApps, width int) []schemeBatch {
+	items := make([]schemeBatch, 0, len(schemes)*((nApps+width-1)/width))
+	for kIdx, k := range schemes {
+		for _, r := range batchPartition(nApps, width) {
+			items = append(items, schemeBatch{k: k, kIdx: kIdx, lo: r[0], hi: r[1]})
+		}
+	}
+	return items
+}
+
+// tempSweepBatchCtx is TempSweepCtx's batched twin: each work item
+// walks one scheme × app-run through the frequency ladder, evaluating
+// all of its apps per rung in a single batched thermal call (columns
+// warm-start from their own previous rung). Points land in the same
+// chain-indexed slots as the per-point path — app-major, scheme-minor,
+// frequency-ordered — and every column is bitwise-identical to its
+// per-point evaluation, so the assembled sweep (and every table and CSV
+// derived from it) is byte-identical to the unbatched run.
+func (r *Runner) tempSweepBatchCtx(ctx context.Context, apps []workload.Profile) (TempSweep, error) {
+	width := r.Opts.batchWidth()
+	items := planSchemeBatches(fig7Schemes, len(apps), width)
+	results := make([][]TempPoint, len(apps)*len(fig7Schemes))
+	err := runIndexed(ctx, r.Opts.workerCount(), len(items), func(ctx context.Context, bi int) error {
+		it := items[bi]
+		batch := apps[it.lo:it.hi]
+		warms := make([]thermal.Temperature, len(batch))
+		pts := make([][]TempPoint, len(batch))
+		for _, f := range r.Opts.Freqs {
+			outs, err := r.Sys.EvaluateUniformBatchWarmCtx(ctx, it.k, batch, f, warms)
+			if err != nil {
+				return fmt.Errorf("exp: %s/%s..%s/%.1f: %w", it.k, batch[0].Name, batch[len(batch)-1].Name, f, err)
+			}
+			for a, o := range outs {
+				if !r.Opts.NoWarmStart {
+					warms[a] = o.Temps
+				}
+				pts[a] = append(pts[a], TempPoint{
+					App: batch[a].Name, Scheme: it.k, GHz: f,
+					ProcHotC: o.ProcHotC, DRAM0HotC: o.DRAM0HotC,
+				})
+			}
+		}
+		for a := range batch {
+			results[(it.lo+a)*len(fig7Schemes)+it.kIdx] = pts[a]
+		}
+		return nil
+	})
+	if err != nil {
+		return TempSweep{}, err
+	}
+	var out TempSweep
+	for _, pts := range results {
+		out.Points = append(out.Points, pts...)
+	}
+	return out, nil
+}
+
+// figure8Batch runs the Fig. 8 evaluations in scheme-grouped batches:
+// one batched thermal call per (scheme, app run) at the base frequency.
+// Row values equal the per-point path's exactly.
+func (r *Runner) figure8Batch(apps []workload.Profile) ([]ReductionRow, error) {
+	width := r.Opts.batchWidth()
+	schemes := []stack.SchemeKind{stack.Base, stack.Bank, stack.BankE}
+	items := planSchemeBatches(schemes, len(apps), width)
+	base := r.Sys.Cfg.BaseGHz
+	// hots[kIdx][appIdx] is the scheme's hotspot for the app.
+	hots := make([][]float64, len(schemes))
+	for i := range hots {
+		hots[i] = make([]float64, len(apps))
+	}
+	err := runIndexed(context.Background(), r.Opts.workerCount(), len(items), func(ctx context.Context, bi int) error {
+		it := items[bi]
+		batch := apps[it.lo:it.hi]
+		outs, err := r.Sys.EvaluateUniformBatchWarmCtx(ctx, it.k, batch, base, nil)
+		if err != nil {
+			return err
+		}
+		for a, o := range outs {
+			hots[it.kIdx][it.lo+a] = o.ProcHotC
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ReductionRow, len(apps))
+	for i, app := range apps {
+		rows[i] = ReductionRow{
+			App:        app.Name,
+			BankDropC:  hots[0][i] - hots[1][i],
+			BankEDropC: hots[0][i] - hots[2][i],
+		}
+	}
+	return rows, nil
+}
+
+// figure14Batch runs the Fig. 14 ladder in scheme-grouped batches, the
+// bank and isoCount chains walking their frequency ladders with
+// per-column warm starts.
+func (r *Runner) figure14Batch(apps []workload.Profile) ([]IsoCountRow, error) {
+	width := r.Opts.batchWidth()
+	schemes := []stack.SchemeKind{stack.Bank, stack.IsoCount}
+	items := planSchemeBatches(schemes, len(apps), width)
+	// hots[kIdx][appIdx][freqIdx].
+	hots := make([][][]float64, len(schemes))
+	for i := range hots {
+		hots[i] = make([][]float64, len(apps))
+	}
+	err := runIndexed(context.Background(), r.Opts.workerCount(), len(items), func(ctx context.Context, bi int) error {
+		it := items[bi]
+		batch := apps[it.lo:it.hi]
+		warms := make([]thermal.Temperature, len(batch))
+		vals := make([][]float64, len(batch))
+		for _, f := range r.Opts.Freqs {
+			outs, err := r.Sys.EvaluateUniformBatchWarmCtx(ctx, it.k, batch, f, warms)
+			if err != nil {
+				return err
+			}
+			for a, o := range outs {
+				if !r.Opts.NoWarmStart {
+					warms[a] = o.Temps
+				}
+				vals[a] = append(vals[a], o.ProcHotC)
+			}
+		}
+		for a := range batch {
+			hots[it.kIdx][it.lo+a] = vals[a]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []IsoCountRow
+	for i, app := range apps {
+		for fi, f := range r.Opts.Freqs {
+			rows = append(rows, IsoCountRow{
+				App: app.Name, GHz: f,
+				BankC: hots[0][i][fi], IsoCount: hots[1][i][fi],
+			})
+		}
+	}
+	return rows, nil
+}

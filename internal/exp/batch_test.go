@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestBatchPartition(t *testing.T) {
+	cases := []struct {
+		n, w int
+		want [][2]int
+	}{
+		{0, 4, nil},
+		{1, 4, [][2]int{{0, 1}}},
+		{4, 4, [][2]int{{0, 4}}},
+		{5, 4, [][2]int{{0, 4}, {4, 5}}},
+		{7, 3, [][2]int{{0, 3}, {3, 6}, {6, 7}}},
+		{3, 0, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+	}
+	for _, c := range cases {
+		got := batchPartition(c.n, c.w)
+		if len(got) != len(c.want) {
+			t.Errorf("batchPartition(%d,%d) = %v, want %v", c.n, c.w, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("batchPartition(%d,%d)[%d] = %v, want %v", c.n, c.w, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// The batched figure drivers must reproduce the per-point run byte for
+// byte: every batched thermal column equals its per-point solve to the
+// last bit, batch membership is a pure function of the point list, and
+// the assembled sweeps land in serial order — so tables and CSVs are
+// identical at every BatchWidth and worker count.
+func TestFiguresBatchWidthByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full quick sweeps")
+	}
+	if raceEnabled {
+		t.Skip("too slow under the race detector")
+	}
+	run := func(width, workers int) (string, string, string) {
+		t.Helper()
+		o := QuickOptions()
+		o.BatchWidth = width
+		o.Workers = workers
+		r, err := NewRunner(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, t7, err := r.Figure7()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, t8, err := r.Figure8()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, t14, err := r.Figure14()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return t7.String(), t8.String(), t14.String()
+	}
+	base7, base8, base14 := run(0, 1)
+	for _, c := range []struct{ width, workers int }{{2, 1}, {4, 1}, {4, 8}} {
+		g7, g8, g14 := run(c.width, c.workers)
+		if g7 != base7 {
+			t.Errorf("width=%d workers=%d: Figure 7 table differs from per-point run\n--- base ---\n%s\n--- batched ---\n%s",
+				c.width, c.workers, base7, g7)
+		}
+		if g8 != base8 {
+			t.Errorf("width=%d workers=%d: Figure 8 table differs from per-point run\n--- base ---\n%s\n--- batched ---\n%s",
+				c.width, c.workers, base8, g8)
+		}
+		if g14 != base14 {
+			t.Errorf("width=%d workers=%d: Figure 14 table differs from per-point run\n--- base ---\n%s\n--- batched ---\n%s",
+				c.width, c.workers, base14, g14)
+		}
+	}
+}

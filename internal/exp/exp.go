@@ -67,6 +67,13 @@ type Options struct {
 	// measure the warm-start savings; results agree to solver tolerance
 	// either way).
 	NoWarmStart bool
+	// BatchWidth groups a figure's same-stack points into multi-RHS
+	// batched thermal solves of (at most) this many columns (0 or 1 =
+	// per-point solves, the baseline). Batch membership is a pure
+	// function of the point list — contiguous app runs, never timing —
+	// and each batched column is bitwise-identical to its per-point
+	// solve, so tables and CSVs are byte-identical at every width.
+	BatchWidth int
 	// Precond selects the CG preconditioner for every thermal solve:
 	// "" or "auto" (multigrid default), "mg", or "jacobi". Results agree
 	// to solver tolerance either way; the parallel benchmark uses it to
@@ -80,6 +87,14 @@ func (o Options) workerCount() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// batchWidth resolves BatchWidth (≤1 means per-point solves).
+func (o Options) batchWidth() int {
+	if o.BatchWidth > 1 {
+		return o.BatchWidth
+	}
+	return 1
 }
 
 // DefaultOptions returns the paper-scale settings.

@@ -53,6 +53,9 @@ func (r *Runner) TempSweepCtx(ctx context.Context) (TempSweep, error) {
 	if err != nil {
 		return TempSweep{}, err
 	}
+	if r.Opts.batchWidth() > 1 {
+		return r.tempSweepBatchCtx(ctx, apps)
+	}
 	type chain struct {
 		app workload.Profile
 		k   stack.SchemeKind
@@ -166,28 +169,33 @@ func (r *Runner) Figure8() ([]ReductionRow, Table, error) {
 		return nil, Table{}, err
 	}
 	base := r.Sys.Cfg.BaseGHz
-	rows := make([]ReductionRow, len(apps))
-	err = runIndexed(context.Background(), r.Opts.workerCount(), len(apps), func(ctx context.Context, i int) error {
-		app := apps[i]
-		b, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.Base, app, base, nil)
-		if err != nil {
-			return err
-		}
-		bank, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.Bank, app, base, nil)
-		if err != nil {
-			return err
-		}
-		banke, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.BankE, app, base, nil)
-		if err != nil {
-			return err
-		}
-		rows[i] = ReductionRow{
-			App:        app.Name,
-			BankDropC:  b.ProcHotC - bank.ProcHotC,
-			BankEDropC: b.ProcHotC - banke.ProcHotC,
-		}
-		return nil
-	})
+	var rows []ReductionRow
+	if r.Opts.batchWidth() > 1 {
+		rows, err = r.figure8Batch(apps)
+	} else {
+		rows = make([]ReductionRow, len(apps))
+		err = runIndexed(context.Background(), r.Opts.workerCount(), len(apps), func(ctx context.Context, i int) error {
+			app := apps[i]
+			b, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.Base, app, base, nil)
+			if err != nil {
+				return err
+			}
+			bank, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.Bank, app, base, nil)
+			if err != nil {
+				return err
+			}
+			banke, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.BankE, app, base, nil)
+			if err != nil {
+				return err
+			}
+			rows[i] = ReductionRow{
+				App:        app.Name,
+				BankDropC:  b.ProcHotC - bank.ProcHotC,
+				BankEDropC: b.ProcHotC - banke.ProcHotC,
+			}
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, Table{}, err
 	}
@@ -221,39 +229,46 @@ func (r *Runner) Figure14() ([]IsoCountRow, Table, error) {
 	if err != nil {
 		return nil, Table{}, err
 	}
-	// One chain per app: both schemes walk the frequency ladder with
-	// their own warm-start field.
-	perApp := make([][]IsoCountRow, len(apps))
-	err = runIndexed(context.Background(), r.Opts.workerCount(), len(apps), func(ctx context.Context, i int) error {
-		app := apps[i]
-		var warmBank, warmIso thermal.Temperature
-		out := make([]IsoCountRow, 0, len(r.Opts.Freqs))
-		for _, f := range r.Opts.Freqs {
-			bank, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.Bank, app, f, warmBank)
-			if err != nil {
-				return err
-			}
-			iso, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.IsoCount, app, f, warmIso)
-			if err != nil {
-				return err
-			}
-			if !r.Opts.NoWarmStart {
-				warmBank, warmIso = bank.Temps, iso.Temps
-			}
-			out = append(out, IsoCountRow{
-				App: app.Name, GHz: f,
-				BankC: bank.ProcHotC, IsoCount: iso.ProcHotC,
-			})
-		}
-		perApp[i] = out
-		return nil
-	})
-	if err != nil {
-		return nil, Table{}, err
-	}
 	var rows []IsoCountRow
-	for _, rs := range perApp {
-		rows = append(rows, rs...)
+	if r.Opts.batchWidth() > 1 {
+		rows, err = r.figure14Batch(apps)
+		if err != nil {
+			return nil, Table{}, err
+		}
+	} else {
+		// One chain per app: both schemes walk the frequency ladder with
+		// their own warm-start field.
+		perApp := make([][]IsoCountRow, len(apps))
+		err = runIndexed(context.Background(), r.Opts.workerCount(), len(apps), func(ctx context.Context, i int) error {
+			app := apps[i]
+			var warmBank, warmIso thermal.Temperature
+			out := make([]IsoCountRow, 0, len(r.Opts.Freqs))
+			for _, f := range r.Opts.Freqs {
+				bank, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.Bank, app, f, warmBank)
+				if err != nil {
+					return err
+				}
+				iso, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.IsoCount, app, f, warmIso)
+				if err != nil {
+					return err
+				}
+				if !r.Opts.NoWarmStart {
+					warmBank, warmIso = bank.Temps, iso.Temps
+				}
+				out = append(out, IsoCountRow{
+					App: app.Name, GHz: f,
+					BankC: bank.ProcHotC, IsoCount: iso.ProcHotC,
+				})
+			}
+			perApp[i] = out
+			return nil
+		})
+		if err != nil {
+			return nil, Table{}, err
+		}
+		for _, rs := range perApp {
+			rows = append(rows, rs...)
+		}
 	}
 	t := Table{
 		Title:  "Figure 14: bank vs isoCount processor hotspot (°C)",

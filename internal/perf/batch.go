@@ -1,0 +1,176 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/xylem-sim/xylem/internal/cpusim"
+	"github.com/xylem-sim/xylem/internal/power"
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+// Batched evaluation: the power/thermal fixed points of several
+// independent operating points on the same stack, run in lockstep so
+// every leakage iteration issues one multi-RHS batched solve instead of
+// k mutex-serialised single solves. Each point's arithmetic — power
+// maps, solver recurrence, convergence test — is identical to its
+// sequential ThermalWarmCtx evaluation (the batched solver is
+// bitwise-equal per column, and the leakage loop below replays the
+// sequential bookkeeping per point), so batched outcomes match
+// per-point outcomes exactly; batching is purely a throughput lever.
+// Points retire from the batch as their own fixed point converges, so
+// a fast-converging point stops paying for solves it wouldn't have run
+// sequentially either.
+
+// ThermalBatchPoint is one operating point of a batched thermal
+// evaluation: an activity result with its frequencies, plus an optional
+// warm-start field for the first solve (the previous rung of a
+// frequency ladder).
+type ThermalBatchPoint struct {
+	Freqs []float64
+	Res   cpusim.Result
+	Warm  thermal.Temperature
+}
+
+// noteBatch records one batched solver call: per-column counters
+// exactly as k sequential noteSolve calls would (so Solves/SolveIters/
+// IterHist/VCycles are batching-invariant), plus the batch-level
+// counters (calls, columns carried, occupancy, deflation).
+func (e *Evaluator) noteBatch(res thermal.BatchResult, k int) {
+	e.statsMu.Lock()
+	for j := 0; j < k; j++ {
+		e.solves++
+		e.solveIters += int64(res.Iters[j])
+		e.vcycles += int64(res.VCycles[j])
+		e.iterHist[e.iterHist.bucket(res.Iters[j])]++
+	}
+	e.batchedSolves++
+	e.batchedColumns += int64(k)
+	e.deflatedColumns += int64(res.Deflated)
+	e.batchOcc[e.batchOcc.bucket(k)]++
+	e.statsMu.Unlock()
+}
+
+// ThermalBatchCtx runs the power/thermal fixed point of every point in
+// lockstep on one stack and returns their outcomes in order. Outcome i
+// equals ThermalWarmCtx(ctx, st, pts[i].Freqs, pts[i].Res, pts[i].Warm)
+// exactly. Any point's unrecoverable failure fails the call — the same
+// first-error semantics the per-point drivers have.
+func (e *Evaluator) ThermalBatchCtx(ctx context.Context, st *stack.Stack, pts []ThermalBatchPoint) ([]Outcome, error) {
+	k := len(pts)
+	outs := make([]Outcome, k)
+	if k == 0 {
+		return outs, nil
+	}
+	for _, pt := range pts {
+		if pt.Res.TimeNs <= 0 {
+			return nil, fmt.Errorf("perf: activity has zero duration")
+		}
+	}
+	sl, err := e.slot(st)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-point fixed-point state, mirroring ThermalWarmCtx's locals.
+	temps := make([]thermal.Temperature, k)
+	seed := make([]thermal.Temperature, k)
+	prevHot := make([]float64, k)
+	for i, pt := range pts {
+		seed[i] = pt.Warm
+		prevHot[i] = math.Inf(-1)
+	}
+
+	blockTemp := func(i int) func(string) float64 {
+		return func(name string) float64 {
+			if temps[i] == nil {
+				return e.Power.TRefC
+			}
+			b, ok := st.Proc.Find(name)
+			if !ok {
+				return e.Power.TRefC
+			}
+			return temps[i].MeanOver(st.Model.Grid, st.ProcMetalLayer, b.Rect)
+		}
+	}
+
+	active := make([]int, 0, k)
+	for i := range pts {
+		active = append(active, i)
+	}
+	pms := make([]thermal.PowerMap, 0, k)
+	warms := make([]thermal.Temperature, 0, k)
+	for iter := 0; iter < e.LeakageIters && len(active) > 0; iter++ {
+		// Build each active point's power map against its own current
+		// temperature field — the same leakage feedback the sequential
+		// loop computes.
+		pms, warms = pms[:0], warms[:0]
+		for _, i := range active {
+			pt := pts[i]
+			procBP, err := e.Power.ProcPower(st.Proc, pt.Res, pt.Freqs, pt.Res.TimeNs, blockTemp(i))
+			if err != nil {
+				return nil, err
+			}
+			sliceP, err := e.Power.DRAMPower(pt.Res.DRAM, st.Cfg.NumDRAMDies, pt.Res.TimeNs)
+			if err != nil {
+				return nil, err
+			}
+			pm, err := e.buildPowerMap(st, procBP, sliceP)
+			if err != nil {
+				return nil, err
+			}
+			pms = append(pms, pm)
+			warms = append(warms, seed[i])
+			outs[i].ProcPowerW = power.TotalProc(procBP)
+			outs[i].DRAMPowerW = power.TotalDRAM(sliceP)
+		}
+
+		sl.mu.Lock()
+		bres, err := sl.s.SteadyStateBatch(ctx, pms, thermal.BatchOpts{Warm: warms})
+		e.noteBatch(bres, len(active))
+		sl.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		next := active[:0]
+		for c, i := range active {
+			t := bres.Temps[c]
+			if bres.Errs[c] != nil {
+				// The batched attempt is bitwise-equal to the sequential
+				// first attempt, so the relaxed-retry ladder picks up
+				// exactly where the per-point path would.
+				t, err = e.retryRelaxed(ctx, sl, pms[c], warms[c], bres.Errs[c])
+				if err != nil {
+					return nil, err
+				}
+			}
+			temps[i] = t
+			seed[i] = t
+			hot, _ := t.Max(st.ProcMetalLayer)
+			outs[i].ProcHotC = hot
+			if math.Abs(hot-prevHot[i]) < e.ConvergeC {
+				continue // this point's fixed point has converged: retire it
+			}
+			prevHot[i] = hot
+			next = append(next, i)
+		}
+		active = next
+	}
+
+	for i, pt := range pts {
+		d0, _ := temps[i].Max(st.DRAMMetalLayers[0])
+		outs[i].DRAM0HotC = d0
+		outs[i].CoreHotC = make([]float64, len(pt.Res.Cores))
+		for c := range pt.Res.Cores {
+			outs[i].CoreHotC[c] = temps[i].MaxOver(st.Model.Grid, st.ProcMetalLayer, st.Proc.CoreRect(c))
+		}
+		outs[i].TimeNs = pt.Res.TimeNs
+		outs[i].ThroughputGIPS = pt.Res.Throughput() / 1e9
+		outs[i].EnergyJ = (outs[i].ProcPowerW + outs[i].DRAMPowerW) * pt.Res.TimeNs * 1e-9
+		outs[i].Temps = temps[i]
+		outs[i].Result = pt.Res
+	}
+	return outs, nil
+}

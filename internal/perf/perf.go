@@ -69,16 +69,20 @@ type Evaluator struct {
 	// Set it before the evaluator is shared across goroutines.
 	Precond thermal.Precond
 
-	mu       sync.Mutex // guards the two cache maps
-	activity map[string]*activityCall
-	solvers  map[*stack.Stack]*solverSlot
+	mu      sync.Mutex // guards the cache pointers/maps below
+	cache   *activityCache
+	solvers map[*stack.Stack]*solverSlot
 
-	statsMu      sync.Mutex
-	activityRuns int
-	solves       int
-	solveIters   int64
-	vcycles      int64
-	iterHist     IterHist
+	statsMu         sync.Mutex
+	activityRuns    int
+	solves          int
+	solveIters      int64
+	vcycles         int64
+	iterHist        IterHist
+	batchedSolves   int
+	batchedColumns  int64
+	deflatedColumns int64
+	batchOcc        IterHist
 }
 
 // IterHist is a power-of-two histogram of per-solve CG iteration counts:
@@ -133,6 +137,41 @@ type activityCall struct {
 	err  error
 }
 
+// activityCache is the singleflight trace cache, carried separately
+// from the Evaluator so evaluators that differ only in solver
+// configuration (preconditioner, workers, batching) can share the
+// expensive — and configuration-independent — cpusim results. It has
+// its own lock, so sharing is safe even across concurrent evaluators.
+type activityCache struct {
+	mu sync.Mutex
+	m  map[string]*activityCall
+}
+
+// acache returns the evaluator's activity cache, creating it on first
+// use (the zero-value Evaluator stays usable).
+func (e *Evaluator) acache() *activityCache {
+	e.mu.Lock()
+	if e.cache == nil {
+		e.cache = &activityCache{m: make(map[string]*activityCall)}
+	}
+	c := e.cache
+	e.mu.Unlock()
+	return c
+}
+
+// ShareActivityCache makes e serve activity requests from src's cache:
+// simulations either evaluator has already run (or runs later) are hits
+// for both. Workload activity depends only on the simulated
+// architecture and traces — never on solver configuration — so sharing
+// is sound whenever the two evaluators simulate the same SimCfg.
+// Call it before e has run anything.
+func (e *Evaluator) ShareActivityCache(src *Evaluator) {
+	c := src.acache()
+	e.mu.Lock()
+	e.cache = c
+	e.mu.Unlock()
+}
+
 // solverSlot pairs a cached solver with the lock that serialises solves
 // on it (a solver's scratch buffers admit one solve at a time).
 type solverSlot struct {
@@ -149,7 +188,7 @@ func NewEvaluator() *Evaluator {
 		ConvergeC:    0.05,
 		SolveRetries: 1,
 		RelaxFactor:  100,
-		activity:     make(map[string]*activityCall),
+		cache:        &activityCache{m: make(map[string]*activityCall)},
 		solvers:      make(map[*stack.Stack]*solverSlot),
 	}
 }
@@ -171,6 +210,19 @@ type Stats struct {
 	IterHist IterHist
 	// DegradedSolves counts solves that needed a relaxed tolerance.
 	DegradedSolves int
+	// BatchedSolves counts batched multi-RHS solver calls;
+	// BatchedColumns the right-hand sides they carried (each column also
+	// counts once in Solves, so Solves remains the per-point total
+	// either way).
+	BatchedSolves  int
+	BatchedColumns int64
+	// DeflatedColumns counts columns that retired (converged or failed)
+	// before their batch's last active iteration — the kernel work
+	// deflation actually skipped.
+	DeflatedColumns int64
+	// BatchOcc is the occupancy histogram of batched calls: bucket k
+	// counts calls carrying [2^(k-1), 2^k) columns.
+	BatchOcc IterHist
 }
 
 // Stats returns a consistent snapshot of the work counters.
@@ -178,12 +230,16 @@ func (e *Evaluator) Stats() Stats {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	return Stats{
-		ActivityRuns:   e.activityRuns,
-		Solves:         e.solves,
-		SolveIters:     e.solveIters,
-		VCycles:        e.vcycles,
-		IterHist:       e.iterHist,
-		DegradedSolves: e.DegradedSolves,
+		ActivityRuns:    e.activityRuns,
+		Solves:          e.solves,
+		SolveIters:      e.solveIters,
+		VCycles:         e.vcycles,
+		IterHist:        e.iterHist,
+		DegradedSolves:  e.DegradedSolves,
+		BatchedSolves:   e.batchedSolves,
+		BatchedColumns:  e.batchedColumns,
+		DeflatedColumns: e.deflatedColumns,
+		BatchOcc:        e.batchOcc,
 	}
 }
 
@@ -191,14 +247,18 @@ func (e *Evaluator) Stats() Stats {
 // per-figure solver-work accounting the experiment drivers report.
 func (s Stats) Sub(prev Stats) Stats {
 	d := Stats{
-		ActivityRuns:   s.ActivityRuns - prev.ActivityRuns,
-		Solves:         s.Solves - prev.Solves,
-		SolveIters:     s.SolveIters - prev.SolveIters,
-		VCycles:        s.VCycles - prev.VCycles,
-		DegradedSolves: s.DegradedSolves - prev.DegradedSolves,
+		ActivityRuns:    s.ActivityRuns - prev.ActivityRuns,
+		Solves:          s.Solves - prev.Solves,
+		SolveIters:      s.SolveIters - prev.SolveIters,
+		VCycles:         s.VCycles - prev.VCycles,
+		DegradedSolves:  s.DegradedSolves - prev.DegradedSolves,
+		BatchedSolves:   s.BatchedSolves - prev.BatchedSolves,
+		BatchedColumns:  s.BatchedColumns - prev.BatchedColumns,
+		DeflatedColumns: s.DeflatedColumns - prev.DeflatedColumns,
 	}
 	for k := range d.IterHist {
 		d.IterHist[k] = s.IterHist[k] - prev.IterHist[k]
+		d.BatchOcc[k] = s.BatchOcc[k] - prev.BatchOcc[k]
 	}
 	return d
 }
@@ -256,24 +316,22 @@ func activityKey(slices int, freqs []float64, assigns []cpusim.Assignment) strin
 // retries instead of replaying the cached error forever.
 func (e *Evaluator) Activity(slices int, freqs []float64, assigns []cpusim.Assignment) (cpusim.Result, error) {
 	key := activityKey(slices, freqs, assigns)
-	e.mu.Lock()
-	if e.activity == nil {
-		e.activity = make(map[string]*activityCall)
-	}
-	if c, ok := e.activity[key]; ok {
-		e.mu.Unlock()
+	cache := e.acache()
+	cache.mu.Lock()
+	if c, ok := cache.m[key]; ok {
+		cache.mu.Unlock()
 		<-c.done
 		return c.res, c.err
 	}
 	c := &activityCall{done: make(chan struct{})}
-	e.activity[key] = c
-	e.mu.Unlock()
+	cache.m[key] = c
+	cache.mu.Unlock()
 
 	c.res, c.err = e.runActivity(slices, freqs, assigns)
 	if c.err != nil {
-		e.mu.Lock()
-		delete(e.activity, key)
-		e.mu.Unlock()
+		cache.mu.Lock()
+		delete(cache.m, key)
+		cache.mu.Unlock()
 	}
 	close(c.done)
 	return c.res, c.err
@@ -368,31 +426,52 @@ func (e *Evaluator) noteSolve(solver *thermal.Solver) {
 	e.statsMu.Unlock()
 }
 
+// retryableSolveErr reports whether the degradation policy applies to a
+// solve failure (divergence or budget exhaustion — not bad inputs, not
+// cancellation).
+func retryableSolveErr(err error) bool {
+	return errors.Is(err, fault.ErrDiverged) || errors.Is(err, fault.ErrBudget)
+}
+
 // steadyState runs one steady-state solve with the evaluator's
 // degradation policy: a solve that diverges or runs out of budget is
 // retried up to SolveRetries times with the CG tolerance relaxed by
-// RelaxFactor per attempt. The relaxed tolerance travels as a per-solve
-// parameter (thermal.SolveOpts) — Solver.Tol is never written, so
-// concurrent solves on other stacks see no transient state. Any other
-// failure (bad power, cancellation) propagates immediately. warm, when
-// non-nil, seeds CG with a nearby field. The slot's lock serialises
-// solves on the shared solver.
+// RelaxFactor per attempt (retryRelaxed). warm, when non-nil, seeds CG
+// with a nearby field. The slot's lock serialises solves on the shared
+// solver.
 func (e *Evaluator) steadyState(ctx context.Context, sl *solverSlot, pm thermal.PowerMap, warm thermal.Temperature) (thermal.Temperature, error) {
 	sl.mu.Lock()
-	defer sl.mu.Unlock()
 	solver := sl.s
 	t, err := solver.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Warm: warm})
 	e.noteSolve(solver)
+	sl.mu.Unlock()
 	if err == nil {
 		return t, nil
 	}
-	if e.SolveRetries <= 0 || (!errors.Is(err, fault.ErrDiverged) && !errors.Is(err, fault.ErrBudget)) {
+	return e.retryRelaxed(ctx, sl, pm, warm, err)
+}
+
+// retryRelaxed is the tail of the degradation policy, shared by the
+// sequential and batched paths: given a first-attempt failure, it
+// retries the solve with the CG tolerance relaxed by RelaxFactor per
+// attempt. The relaxed tolerance travels as a per-solve parameter
+// (thermal.SolveOpts) — Solver.Tol is never written, so concurrent
+// solves on other stacks see no transient state. A non-retryable
+// failure (bad power, cancellation) propagates immediately. A batched
+// column that lands here is bitwise-equivalent to the sequential first
+// attempt, so the retry ladder — and any outcome it salvages — is
+// identical to what the per-point path would produce.
+func (e *Evaluator) retryRelaxed(ctx context.Context, sl *solverSlot, pm thermal.PowerMap, warm thermal.Temperature, err error) (thermal.Temperature, error) {
+	if e.SolveRetries <= 0 || !retryableSolveErr(err) {
 		return nil, err
 	}
 	relax := e.RelaxFactor
 	if relax <= 1 {
 		relax = 100
 	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	solver := sl.s
 	for r := 1; r <= e.SolveRetries; r++ {
 		tol := solver.Tol * math.Pow(relax, float64(r))
 		t, retryErr := solver.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Tol: tol, Warm: warm})
@@ -404,7 +483,7 @@ func (e *Evaluator) steadyState(ctx context.Context, sl *solverSlot, pm thermal.
 			return t, nil
 		}
 		err = retryErr
-		if !errors.Is(err, fault.ErrDiverged) && !errors.Is(err, fault.ErrBudget) {
+		if !retryableSolveErr(err) {
 			return nil, err
 		}
 	}

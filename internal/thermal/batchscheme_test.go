@@ -1,0 +1,108 @@
+package thermal_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+// schemePowers builds k evaluation-shaped power maps over a stack: a
+// non-uniform processor load plus a light uniform DRAM load, with a
+// per-column scale and phase so the batch has real diversity.
+func schemePowers(st *stack.Stack, k int) []thermal.PowerMap {
+	n := st.Model.Grid.NumCells()
+	pms := make([]thermal.PowerMap, k)
+	for j := range pms {
+		pm := st.Model.NewPowerMap()
+		for c := 0; c < n; c++ {
+			pm[st.ProcMetalLayer][c] = (55 + 10*float64(j)) * (1 + float64((c+7*j)%89)/89.0) / (1.5 * float64(n))
+		}
+		for _, li := range st.DRAMMetalLayers {
+			for c := 0; c < n; c++ {
+				pm[li][c] = 0.5 / float64(n)
+			}
+		}
+		pms[j] = pm
+	}
+	return pms
+}
+
+// batchVsSequential runs one scheme's real stack through a batched
+// solve and the equivalent sequential solves under the given
+// preconditioner, returning the max-abs field difference.
+func batchVsSequential(t *testing.T, kind stack.SchemeKind, grid int, pc thermal.Precond) float64 {
+	t.Helper()
+	cfg := stack.DefaultConfig()
+	cfg.GridRows, cfg.GridCols = grid, grid
+	st, err := stack.Build(cfg, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := thermal.NewSolver(st.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pms := schemePowers(st, 3)
+	ctx := context.Background()
+	res, err := s.SteadyStateBatch(ctx, pms, thermal.BatchOpts{Precond: pc})
+	if err != nil {
+		t.Fatalf("%v batch solve: %v", kind, err)
+	}
+	maxAbs := 0.0
+	for j, pm := range pms {
+		if res.Errs[j] != nil {
+			t.Fatalf("%v column %d: %v", kind, j, res.Errs[j])
+		}
+		seq, err := s.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Precond: pc})
+		if err != nil {
+			t.Fatalf("%v sequential solve %d: %v", kind, j, err)
+		}
+		if res.Iters[j] != s.LastIters {
+			t.Errorf("%v column %d: batch took %d iterations, sequential %d", kind, j, res.Iters[j], s.LastIters)
+		}
+		for li := range seq {
+			for c := range seq[li] {
+				if d := math.Abs(res.Temps[j][li][c] - seq[li][c]); d > maxAbs {
+					maxAbs = d
+				}
+			}
+		}
+	}
+	return maxAbs
+}
+
+// The acceptance cross-check: on every TTSV scheme's real stack model —
+// heterogeneous λ fields, TSV bus regions, shorted µbump pillars, 29
+// layers — the batched solve must agree with per-point sequential
+// solves under both preconditioners. The required bar is ≤1e-6 K; the
+// implementation actually delivers bitwise equality (each column runs
+// the identical recurrence), so any nonzero difference is a bug.
+func TestBatchMatchesSequentialAllSchemes(t *testing.T) {
+	for _, kind := range stack.AllSchemes {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			if maxAbs := batchVsSequential(t, kind, 24, thermal.PrecondMG); maxAbs != 0 {
+				t.Errorf("MG: batched and sequential fields differ by %g K, want bitwise equality", maxAbs)
+			}
+		})
+	}
+}
+
+// The same check on the Jacobi path — smaller grid, since unpreconditioned
+// diagonal-scaled CG pays thousands of iterations per solve at 24².
+func TestBatchMatchesSequentialJacobiAllSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Jacobi sweep in -short mode")
+	}
+	for _, kind := range stack.AllSchemes {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			if maxAbs := batchVsSequential(t, kind, 16, thermal.PrecondJacobi); maxAbs != 0 {
+				t.Errorf("Jacobi: batched and sequential fields differ by %g K, want bitwise equality", maxAbs)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -41,13 +42,29 @@ func (s *Solver) chunkBounds(c int) (lo, hi int) {
 	return lo, hi
 }
 
+// effectiveWorkers clamps the solver's Workers setting to the runnable
+// parallelism of the process. On a single-CPU box (GOMAXPROCS=1) pool
+// goroutines cannot overlap the calling goroutine, so a Workers>1
+// setting would pay the chunk hand-off and wake/barrier latency for
+// zero concurrency — the mg-parallel regression in BENCH_parallel.json.
+// Clamping here keeps every runChunks/runSpan call site honest and
+// means single-core runs never start a pool at all. Results are
+// bitwise-identical either way; only the schedule changes.
+func (s *Solver) effectiveWorkers() int {
+	w := s.Workers
+	if p := runtime.GOMAXPROCS(0); w > p {
+		w = p
+	}
+	return w
+}
+
 // runChunks executes f(c) for every chunk c — inline when the solve is
 // below the parallel threshold or the solver has no extra workers, on
 // the persistent pool otherwise. f must only write state owned by its
 // chunk (slices indexed [lo, hi) plus partial[c]).
 func (s *Solver) runChunks(f func(c int)) {
 	nc := numChunks(s.n)
-	if s.Workers > 1 && s.n >= parallelMinCells && nc > 1 {
+	if s.effectiveWorkers() > 1 && s.n >= parallelMinCells && nc > 1 {
 		s.ensurePool()
 		s.pool.run(f, nc)
 		return
@@ -75,7 +92,7 @@ func (s *Solver) runSpan(items, width, cells int, f func(lo, hi int)) {
 		}
 		f(lo, hi)
 	}
-	if s.Workers > 1 && cells >= parallelMinCells && nc > 1 {
+	if s.effectiveWorkers() > 1 && cells >= parallelMinCells && nc > 1 {
 		s.ensurePool()
 		s.pool.run(run, nc)
 		return
@@ -103,7 +120,7 @@ func (s *Solver) ensurePool() {
 	if s.pool != nil {
 		return
 	}
-	w := s.Workers
+	w := s.effectiveWorkers()
 	if nc := numChunks(s.n); w > nc {
 		w = nc
 	}

@@ -79,6 +79,11 @@ type Solver struct {
 	// parallel solve; see parallel.go).
 	pool *kernelPool
 
+	// batch is the lazily-allocated multi-RHS scratch (nil until the
+	// first SteadyStateBatch; see batch.go). Per-solver, like all
+	// scratch: never shared across Clone.
+	batch *batchScratch
+
 	// levels is the multigrid hierarchy (levels[0] aliases the solver's
 	// own operator arrays; see multigrid.go). Operators are immutable
 	// and shared across Clone; scratch is per-solver.
