@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke profile figures faults-smoke examples clean
+.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke obs-smoke profile figures faults-smoke examples clean
 
 all: build vet test
 
@@ -55,6 +55,13 @@ mg-smoke:
 # are byte-identical to the per-point tables at every worker count.
 batch-smoke:
 	$(GO) run ./cmd/xylem parbench -check -batch 4 -grid 16 -apps lu-nas,fft,is -instr 60000 -freqs 2.4,3.5 -o /tmp/bench_batch_smoke.json
+
+# CI gate for the observability layer: run a small figure bare and with
+# a live metrics endpoint (served in-process on 127.0.0.1:0, scraped
+# over HTTP), and fail unless the tables are byte-identical and the
+# scrape carried solver metrics and trace spans.
+obs-smoke:
+	$(GO) run ./cmd/xylem obs-smoke -id 7 -grid 16 -apps lu-nas,fft -instr 60000 -freqs 2.4,3.5 -workers 4 -batch 2
 
 # CPU+heap profile of a batched Figure 7 sweep; inspect with
 # `go tool pprof cpu.prof`.

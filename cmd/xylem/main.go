@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -59,11 +60,14 @@ func main() {
 		err = cmdFaults(args)
 	case "parbench":
 		err = cmdParbench(args)
+	case "obs-smoke":
+		err = cmdObsSmoke(args)
 	default:
 		usage()
 		os.Exit(2)
 	}
 	stopProfiles()
+	stopMetrics()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xylem:", err)
 		os.Exit(1)
@@ -81,7 +85,12 @@ func usage() {
   heatmap    render the processor-die temperature field
   trace      record a synthetic workload trace to a portable file
   faults     sensor/power fault-injection sweep of the guarded DTM
-  parbench   time the Figure 7 sweep serial vs parallel vs warm-started`)
+  parbench   time the Figure 7 sweep serial vs parallel vs warm-started
+  obs-smoke  run a figure with and without metrics; assert identical tables
+
+Experiment commands accept -metrics-addr HOST:PORT to serve live
+Prometheus/JSON metrics and a trace dump while they run; 'xylem trace
+-obs HOST:PORT' fetches the trace ring from such a process.`)
 }
 
 // cliOpts holds the shared experiment flags registered by optFlags.
@@ -89,20 +98,22 @@ type cliOpts struct {
 	apps, freqs, precond        *string
 	grid, instr, workers, batch *int
 	cpuprofile, memprofile      *string
+	metricsAddr                 *string
 }
 
 // optFlags registers the shared experiment flags on a FlagSet.
 func optFlags(fs *flag.FlagSet) *cliOpts {
 	return &cliOpts{
-		apps:       fs.String("apps", "", "comma-separated application subset (default: all 17)"),
-		grid:       fs.Int("grid", 32, "thermal grid resolution (NxN)"),
-		instr:      fs.Int("instr", 0, "per-thread instruction budget (0 = profile default)"),
-		workers:    fs.Int("workers", 0, "concurrent experiment points (0 = all CPUs, 1 = serial)"),
-		batch:      fs.Int("batch", 0, "multi-RHS thermal batch width (0 or 1 = per-point solves)"),
-		freqs:      fs.String("freqs", "2.4,2.8,3.2,3.5", "frequencies for temperature sweeps (GHz)"),
-		precond:    fs.String("precond", "", "CG preconditioner: auto (multigrid), mg, or jacobi"),
-		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile to this path"),
-		memprofile: fs.String("memprofile", "", "write a heap profile to this path at exit"),
+		apps:        fs.String("apps", "", "comma-separated application subset (default: all 17)"),
+		grid:        fs.Int("grid", 32, "thermal grid resolution (NxN)"),
+		instr:       fs.Int("instr", 0, "per-thread instruction budget (0 = profile default)"),
+		workers:     fs.Int("workers", 0, "concurrent experiment points (0 = all CPUs, 1 = serial)"),
+		batch:       fs.Int("batch", 0, "multi-RHS thermal batch width (0 or 1 = per-point solves)"),
+		freqs:       fs.String("freqs", "2.4,2.8,3.2,3.5", "frequencies for temperature sweeps (GHz)"),
+		precond:     fs.String("precond", "", "CG preconditioner: auto (multigrid), mg, or jacobi"),
+		cpuprofile:  fs.String("cpuprofile", "", "write a CPU profile to this path"),
+		memprofile:  fs.String("memprofile", "", "write a heap profile to this path at exit"),
+		metricsAddr: fs.String("metrics-addr", "", "serve Prometheus/JSON metrics and a trace dump on this address (empty = off)"),
 	}
 }
 
@@ -113,6 +124,11 @@ func (c *cliOpts) options() (exp.Options, error) {
 		return exp.Options{}, err
 	}
 	o := exp.DefaultOptions()
+	reg, err := startMetrics(*c.metricsAddr)
+	if err != nil {
+		return exp.Options{}, err
+	}
+	o.Obs = reg
 	if *c.apps != "" {
 		o.Apps = strings.Split(*c.apps, ",")
 	}
@@ -191,6 +207,10 @@ func cmdFigureFlag(args []string) error {
 // as CSV.
 var csvOut string
 
+// tableOut is where runFigureTable renders tables; obs-smoke redirects
+// it to capture the exact bytes a user would see on stdout.
+var tableOut io.Writer = os.Stdout
+
 func cmdFigure(id string, args []string) error {
 	fs := flag.NewFlagSet("temps", flag.ContinueOnError)
 	r, err := newRunner(fs, args)
@@ -226,7 +246,7 @@ func runFigureTable(r *exp.Runner, id string) error {
 		if err != nil {
 			return err
 		}
-		t.Fprint(os.Stdout)
+		t.Fprint(tableOut)
 		if csvOut != "" {
 			f, err := os.Create(csvOut)
 			if err != nil {
@@ -303,8 +323,8 @@ func runFigureTable(r *exp.Runner, id string) error {
 		if err != nil {
 			return err
 		}
-		t.Fprint(os.Stdout)
-		fmt.Println()
+		t.Fprint(tableOut)
+		fmt.Fprintln(tableOut)
 		_, t2, err := r.StackProfile(stack.BankE)
 		return print(t2, err)
 	default:
@@ -486,8 +506,21 @@ func cmdTrace(args []string) error {
 	thread := fs.Int("thread", 0, "thread id (seeds the stream)")
 	n := fs.Int("n", 100000, "instructions to record")
 	out := fs.String("o", "", "output path (default stdout)")
+	obsAddr := fs.String("obs", "", "fetch the solve-trace ring from a running xylem's metrics address instead")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *obsAddr != "" {
+		w := io.Writer(os.Stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return fetchTrace(*obsAddr, w)
 	}
 	p, err := workload.ByName(*app)
 	if err != nil {

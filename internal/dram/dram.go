@@ -11,7 +11,13 @@
 // applications gain little from Xylem's frequency boost (Figs. 9/10).
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"github.com/xylem-sim/xylem/internal/fault"
+	"github.com/xylem-sim/xylem/internal/obs"
+)
 
 // Config holds the stack organisation and timing parameters (Table 3 and
 // the Wide I/O discussion in §6.2: Wide I/O organisation at a Wide I/O 2
@@ -99,8 +105,11 @@ type Controller struct {
 	chanBus []float64     // per-channel data-bus free time
 	stats   Stats
 	// refreshScale multiplies request service start by blocking refresh
-	// slots; 1.0 at ≤85 °C, 2.0 at 95 °C, etc.
+	// slots; 1.0 at ≤85 °C, 2.0 at 95 °C, capped at maxRefreshScale.
 	refreshPeriodScale float64
+	// refreshClamps counts SetTemperature calls clamped at the JEDEC
+	// ceiling; nil (a no-op) until AttachObs.
+	refreshClamps *obs.Counter
 }
 
 // NewController builds a controller with all banks precharged.
@@ -140,15 +149,44 @@ func NewController(cfg Config) (*Controller, error) {
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
+// maxRefreshScale is the ceiling of the JEDEC extended-range rule: the
+// extended temperature range ends at 105 °C (4× refresh), so a hotter —
+// or faulted — reading cannot shrink the refresh interval further. The
+// old unclamped rule grew the scale as 2^n with temperature, driving
+// TREFI/scale toward zero and letting a single bad sensor reading stall
+// the rank in permanent refresh.
+const maxRefreshScale = 4.0
+
 // SetTemperature applies the JEDEC extended-range refresh rule: the
-// refresh period halves for every 10 °C above 85 °C (§7.5). Temperatures
-// at or below 85 °C restore the nominal period.
-func (c *Controller) SetTemperature(tempC float64) {
+// refresh period halves for every 10 °C above 85 °C (§7.5), up to the
+// 105 °C ceiling (scale 4). Temperatures at or below 85 °C restore the
+// nominal period. Non-finite temperatures (a faulted or absent sensor)
+// are rejected with the fault taxonomy's ErrBadTemp — they previously
+// slipped through as nominal (NaN fails every comparison) or, for +Inf,
+// looped forever.
+func (c *Controller) SetTemperature(tempC float64) error {
+	if math.IsNaN(tempC) || math.IsInf(tempC, 0) {
+		return &fault.BadTemperatureError{Value: tempC, Context: "dram refresh"}
+	}
 	scale := 1.0
-	for t := tempC; t > 85; t -= 10 {
+	for t := tempC; t > 85 && scale < maxRefreshScale; t -= 10 {
 		scale *= 2
 	}
+	if scale >= maxRefreshScale && tempC > 105 {
+		c.refreshClamps.Inc()
+	}
 	c.refreshPeriodScale = scale
+	return nil
+}
+
+// AttachObs wires the controller's clamp counter to a registry; nil
+// detaches it. Metrics are write-only and never alter timing.
+func (c *Controller) AttachObs(r *obs.Registry) {
+	if r == nil {
+		c.refreshClamps = nil
+		return
+	}
+	c.refreshClamps = r.Counter("xylem_dram_refresh_scale_clamps_total")
 }
 
 // RefreshPeriodScale reports the current refresh-rate multiplier.

@@ -1,9 +1,14 @@
 package dram
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"github.com/xylem-sim/xylem/internal/fault"
+	"github.com/xylem-sim/xylem/internal/obs"
 )
 
 func TestMapInvariants(t *testing.T) {
@@ -127,20 +132,74 @@ func TestPostedWritesDoNotBlockReads(t *testing.T) {
 }
 
 // JEDEC extended range (§7.5): refresh period halves every 10 °C above
-// 85 °C.
+// 85 °C, capped at the 105 °C ceiling (scale 4); non-finite readings are
+// rejected and leave the current scale untouched.
 func TestRefreshTemperatureScaling(t *testing.T) {
 	c, _ := NewController(DefaultConfig())
 	cases := []struct {
 		temp  float64
 		scale float64
 	}{
-		{45, 1}, {85, 1}, {86, 2}, {95, 2}, {95.5, 4}, {105.5, 8},
+		{45, 1}, {85, 1}, {86, 2}, {95, 2},
+		{math.Nextafter(95, 200), 4}, {105, 4},
+		{105.5, 4}, {300, 4}, {1e9, 4}, // clamped at the JEDEC ceiling
 	}
 	for _, cse := range cases {
-		c.SetTemperature(cse.temp)
-		if got := c.RefreshPeriodScale(); got != cse.scale {
-			t.Errorf("at %.1f°C scale = %g, want %g", cse.temp, got, cse.scale)
+		if err := c.SetTemperature(cse.temp); err != nil {
+			t.Fatalf("SetTemperature(%g): %v", cse.temp, err)
 		}
+		if got := c.RefreshPeriodScale(); got != cse.scale {
+			t.Errorf("at %g°C scale = %g, want %g", cse.temp, got, cse.scale)
+		}
+	}
+}
+
+// Non-finite temperatures — a faulted or absent sensor — must be rejected
+// with the taxonomy's typed error, not silently treated as nominal (the
+// old NaN behaviour) or looped on forever (+Inf).
+func TestSetTemperatureRejectsNonFinite(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	if err := c.SetTemperature(95); err != nil {
+		t.Fatal(err)
+	}
+	before := c.RefreshPeriodScale()
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := c.SetTemperature(bad)
+		if err == nil {
+			t.Fatalf("SetTemperature(%g) accepted", bad)
+		}
+		if !errors.Is(err, fault.ErrBadTemp) {
+			t.Fatalf("SetTemperature(%g) error %v, want ErrBadTemp", bad, err)
+		}
+		var bte *fault.BadTemperatureError
+		if !errors.As(err, &bte) {
+			t.Fatalf("SetTemperature(%g) error %T, want *fault.BadTemperatureError", bad, err)
+		}
+		if got := c.RefreshPeriodScale(); got != before {
+			t.Fatalf("rejected input changed scale to %g", got)
+		}
+	}
+}
+
+// The clamp counter must tick only when the ceiling actually bites.
+func TestRefreshClampCounter(t *testing.T) {
+	c, _ := NewController(DefaultConfig())
+	reg := obs.New()
+	c.AttachObs(reg)
+	clamps := reg.Counter("xylem_dram_refresh_scale_clamps_total")
+	for _, temp := range []float64{45, 95, 105} {
+		if err := c.SetTemperature(temp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := clamps.Value(); got != 0 {
+		t.Fatalf("clamp counter %d after in-range temps, want 0", got)
+	}
+	if err := c.SetTemperature(130); err != nil {
+		t.Fatal(err)
+	}
+	if got := clamps.Value(); got != 1 {
+		t.Fatalf("clamp counter %d after 130°C, want 1", got)
 	}
 }
 
@@ -149,7 +208,9 @@ func TestRefreshTemperatureScaling(t *testing.T) {
 func TestHotterMeansMoreRefreshes(t *testing.T) {
 	run := func(temp float64) uint64 {
 		c, _ := NewController(DefaultConfig())
-		c.SetTemperature(temp)
+		if err := c.SetTemperature(temp); err != nil {
+			t.Fatal(err)
+		}
 		now := 0.0
 		for i := 0; i < 30000; i++ {
 			now = c.Access(now, uint64(i)*64, false) + 20

@@ -37,6 +37,9 @@ type Controller struct {
 	Ev     *perf.Evaluator
 	DVFS   power.DVFS
 	Limits Limits
+	// obs holds the DTM metric handles; the zero value (nil handles) is
+	// fully functional and free. See AttachObs in obs.go.
+	obs ctlObs
 }
 
 // NewController builds a controller around an evaluator.

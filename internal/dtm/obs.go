@@ -1,0 +1,44 @@
+package dtm
+
+import "github.com/xylem-sim/xylem/internal/obs"
+
+// ctlObs holds the controller's metric handles. It is kept by value with
+// nil handles when no registry is attached — every obs method is a no-op
+// on a nil receiver, so the control loops record unconditionally and pay
+// nothing when detached. Metrics are write-only: no policy decision ever
+// reads one, so attaching a registry cannot change a trace.
+type ctlObs struct {
+	// dropouts counts sensor reads that returned no data; stale counts
+	// readings discarded by stuck-at detection.
+	dropouts *obs.Counter
+	stale    *obs.Counter
+	// fallbacks counts total-sensor-loss intervals (worst-case floor),
+	// guardHits the guarded-policy intervals that hit the guard band.
+	fallbacks *obs.Counter
+	guardHits *obs.Counter
+	// throttles/boosts count DVFS level transitions across all loops.
+	throttles *obs.Counter
+	boosts    *obs.Counter
+	trace     *obs.TraceRing
+}
+
+// AttachObs wires the controller's DTM instrumentation — sensor
+// dropouts, stuck-at discards, guard-band hits, fallback intervals and
+// throttle/boost transitions — to a registry. Call it before the
+// controller's loops run; handles are safe for the concurrent sensor
+// sweeps Run supports.
+func (c *Controller) AttachObs(r *obs.Registry) {
+	if r == nil {
+		c.obs = ctlObs{}
+		return
+	}
+	c.obs = ctlObs{
+		dropouts:  r.Counter("xylem_dtm_sensor_dropouts_total"),
+		stale:     r.Counter("xylem_dtm_sensor_stale_total"),
+		fallbacks: r.Counter("xylem_dtm_fallback_intervals_total"),
+		guardHits: r.Counter("xylem_dtm_guard_band_hits_total"),
+		throttles: r.Counter("xylem_dtm_throttles_total"),
+		boosts:    r.Counter("xylem_dtm_boosts_total"),
+		trace:     r.Trace(),
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/xylem-sim/xylem/internal/fault"
 	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/obs"
 	"github.com/xylem-sim/xylem/internal/perf"
 	"github.com/xylem-sim/xylem/internal/stack"
 	"github.com/xylem-sim/xylem/internal/thermal"
@@ -199,6 +200,13 @@ func (l *SensorLoop) Run(ctx context.Context, bank *fault.SensorBank, powerInj *
 	if policy == NaivePolicy {
 		level = top
 	}
+	// Handles are nil-safe no-ops when no registry is attached; the
+	// counters are atomics, so concurrent replays record safely.
+	o := l.c.obs
+	sp := o.trace.Start("dtm.sensor_run")
+	defer func() {
+		sp.End(obs.A("policy", float64(policy)), obs.A("steps", float64(steps)))
+	}()
 	ts := l.solver.Clone().NewTransientAmbient()
 	lastRead := make([]float64, len(l.sites))
 	stale := make([]int, len(l.sites))
@@ -223,6 +231,7 @@ func (l *SensorLoop) Run(ctx context.Context, bank *fault.SensorBank, powerInj *
 			v, ok := bank.Read(s, tv)
 			if !ok {
 				stale[s] = 0
+				o.dropouts.Inc()
 				continue
 			}
 			// Stuck-at detection: a reading that repeats exactly for
@@ -234,6 +243,7 @@ func (l *SensorLoop) Run(ctx context.Context, bank *fault.SensorBank, powerInj *
 			}
 			lastRead[s] = v
 			if stale[s] >= stuckWindow {
+				o.stale.Inc()
 				continue
 			}
 			valid++
@@ -260,6 +270,7 @@ func (l *SensorLoop) Run(ctx context.Context, bank *fault.SensorBank, powerInj *
 				}
 				level = 0
 			case fused <= guardC:
+				o.guardHits.Inc()
 				if level > 0 {
 					level--
 					sample.Throttle = true
@@ -282,6 +293,15 @@ func (l *SensorLoop) Run(ctx context.Context, bank *fault.SensorBank, powerInj *
 				level++
 				sample.Boost = true
 			}
+		}
+		if sample.Fallback {
+			o.fallbacks.Inc()
+		}
+		if sample.Throttle {
+			o.throttles.Inc()
+		}
+		if sample.Boost {
+			o.boosts.Inc()
 		}
 		out = append(out, sample)
 	}

@@ -74,8 +74,10 @@ func (c *Controller) ThrottleTrace(st *stack.Stack, app workload.Profile, nThrea
 		case hot > c.Limits.ProcMaxC && level > 0:
 			level--
 			sample.Throttle = true
+			c.obs.throttles.Inc()
 		case hot < c.Limits.ProcMaxC-guardC && level < len(levels)-1:
 			level++
+			c.obs.boosts.Inc()
 		}
 		out = append(out, sample)
 	}

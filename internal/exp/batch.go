@@ -71,8 +71,11 @@ func planSchemeBatches(schemes []stack.SchemeKind, nApps, width int) []schemeBat
 func (r *Runner) tempSweepBatchCtx(ctx context.Context, apps []workload.Profile) (TempSweep, error) {
 	width := r.Opts.batchWidth()
 	items := planSchemeBatches(fig7Schemes, len(apps), width)
+	for _, it := range items {
+		r.noteBatchSize(it.hi - it.lo)
+	}
 	results := make([][]TempPoint, len(apps)*len(fig7Schemes))
-	err := runIndexed(ctx, r.Opts.workerCount(), len(items), func(ctx context.Context, bi int) error {
+	err := r.runIndexed(ctx, len(items), func(ctx context.Context, bi int) error {
 		it := items[bi]
 		batch := apps[it.lo:it.hi]
 		warms := make([]thermal.Temperature, len(batch))
@@ -114,13 +117,16 @@ func (r *Runner) figure8Batch(apps []workload.Profile) ([]ReductionRow, error) {
 	width := r.Opts.batchWidth()
 	schemes := []stack.SchemeKind{stack.Base, stack.Bank, stack.BankE}
 	items := planSchemeBatches(schemes, len(apps), width)
+	for _, it := range items {
+		r.noteBatchSize(it.hi - it.lo)
+	}
 	base := r.Sys.Cfg.BaseGHz
 	// hots[kIdx][appIdx] is the scheme's hotspot for the app.
 	hots := make([][]float64, len(schemes))
 	for i := range hots {
 		hots[i] = make([]float64, len(apps))
 	}
-	err := runIndexed(context.Background(), r.Opts.workerCount(), len(items), func(ctx context.Context, bi int) error {
+	err := r.runIndexed(context.Background(), len(items), func(ctx context.Context, bi int) error {
 		it := items[bi]
 		batch := apps[it.lo:it.hi]
 		outs, err := r.Sys.EvaluateUniformBatchWarmCtx(ctx, it.k, batch, base, nil)
@@ -153,12 +159,15 @@ func (r *Runner) figure14Batch(apps []workload.Profile) ([]IsoCountRow, error) {
 	width := r.Opts.batchWidth()
 	schemes := []stack.SchemeKind{stack.Bank, stack.IsoCount}
 	items := planSchemeBatches(schemes, len(apps), width)
+	for _, it := range items {
+		r.noteBatchSize(it.hi - it.lo)
+	}
 	// hots[kIdx][appIdx][freqIdx].
 	hots := make([][][]float64, len(schemes))
 	for i := range hots {
 		hots[i] = make([][]float64, len(apps))
 	}
-	err := runIndexed(context.Background(), r.Opts.workerCount(), len(items), func(ctx context.Context, bi int) error {
+	err := r.runIndexed(context.Background(), len(items), func(ctx context.Context, bi int) error {
 		it := items[bi]
 		batch := apps[it.lo:it.hi]
 		warms := make([]thermal.Temperature, len(batch))

@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"github.com/xylem-sim/xylem/internal/core"
+	"github.com/xylem-sim/xylem/internal/obs"
 	"github.com/xylem-sim/xylem/internal/thermal"
 	"github.com/xylem-sim/xylem/internal/workload"
 )
@@ -79,6 +80,12 @@ type Options struct {
 	// to solver tolerance either way; the parallel benchmark uses it to
 	// compare iteration counts.
 	Precond string
+	// Obs, when non-nil, wires the whole pipeline — experiment points,
+	// evaluator work counters, thermal solver spans, DTM events — to this
+	// metrics registry. Metrics are write-only and never feed back into
+	// any computation, so tables and CSVs are byte-identical with or
+	// without it (pinned by test and by `xylem obs-smoke`).
+	Obs *obs.Registry
 }
 
 // workerCount resolves Workers to an effective pool size.
@@ -122,6 +129,9 @@ func QuickOptions() Options {
 type Runner struct {
 	Sys  *core.System
 	Opts Options
+	// obs holds the runner-level metric handles when Options.Obs is set
+	// (nil otherwise; see obs.go).
+	obs *runnerObs
 }
 
 // NewRunner builds a Runner.
@@ -146,7 +156,11 @@ func NewRunner(opts Options) (*Runner, error) {
 		return nil, fmt.Errorf("exp: unknown preconditioner %q (want auto, mg or jacobi)", opts.Precond)
 	}
 	sys.Ev.Precond = pc
-	return &Runner{Sys: sys, Opts: opts}, nil
+	if opts.Obs != nil {
+		sys.Ev.AttachObs(opts.Obs)
+		sys.DTM.AttachObs(opts.Obs)
+	}
+	return &Runner{Sys: sys, Opts: opts, obs: newRunnerObs(opts.Obs)}, nil
 }
 
 // apps returns the selected profiles with the instruction override

@@ -114,7 +114,7 @@ func (r *Runner) FaultSweep(ctx context.Context, fo FaultOptions) ([]FaultRow, T
 		guardedViol, naiveViol float64
 	}
 	results := make([]seedResult, len(fo.DropoutRates)*fo.Seeds)
-	err = runIndexed(ctx, r.Opts.workerCount(), len(results), func(ctx context.Context, i int) error {
+	err = r.runIndexed(ctx, len(results), func(ctx context.Context, i int) error {
 		rate := fo.DropoutRates[i/fo.Seeds]
 		seed := i % fo.Seeds
 		cfg := fault.Config{Seed: uint64(seed) + 1}

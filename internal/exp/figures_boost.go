@@ -24,7 +24,7 @@ func (r *Runner) BoostSweep() ([]BoostRow, error) {
 		return nil, err
 	}
 	out := make([]BoostRow, len(apps))
-	err = runIndexed(context.Background(), r.Opts.workerCount(), len(apps), func(ctx context.Context, i int) error {
+	err = r.runIndexed(context.Background(), len(apps), func(ctx context.Context, i int) error {
 		app := apps[i]
 		bank, err := r.Sys.IsoTemperatureBoost(stack.Bank, app)
 		if err != nil {

@@ -32,7 +32,7 @@ func (r *Runner) Figure15() ([]PlacementRow, Table, error) {
 		return nil, Table{}, err
 	}
 	rows := make([]PlacementRow, len(lambdaSchemes))
-	err = runIndexed(context.Background(), r.Opts.workerCount(), len(lambdaSchemes), func(ctx context.Context, i int) error {
+	err = r.runIndexed(context.Background(), len(lambdaSchemes), func(ctx context.Context, i int) error {
 		k := lambdaSchemes[i]
 		out, _, err := r.Sys.LambdaPlacement(k, hot, cool, core.HotOutside)
 		if err != nil {
@@ -90,7 +90,7 @@ func (r *Runner) Figure16() ([]BoostLambdaRow, Table, error) {
 	type pair struct{ s, a int }
 	singles := make([]float64, len(lambdaSchemes)*len(apps))
 	inners := make([]float64, len(lambdaSchemes)*len(apps))
-	err = runIndexed(context.Background(), r.Opts.workerCount(), len(singles), func(ctx context.Context, i int) error {
+	err = r.runIndexed(context.Background(), len(singles), func(ctx context.Context, i int) error {
 		p := pair{i / len(apps), i % len(apps)}
 		s, in, err := r.Sys.LambdaBoost(lambdaSchemes[p.s], apps[p.a])
 		if err != nil {
@@ -143,7 +143,7 @@ func (r *Runner) Figure17() ([]MigrationRow, Table, error) {
 	}
 	outer := make([]float64, len(lambdaSchemes)*len(apps))
 	inner := make([]float64, len(lambdaSchemes)*len(apps))
-	err = runIndexed(context.Background(), r.Opts.workerCount(), len(outer), func(ctx context.Context, i int) error {
+	err = r.runIndexed(context.Background(), len(outer), func(ctx context.Context, i int) error {
 		k, app := lambdaSchemes[i/len(apps)], apps[i%len(apps)]
 		o, err := r.Sys.LambdaMigration(k, app, false, r.Opts.MigrationGHz, r.Opts.MigrationPeriodMs)
 		if err != nil {

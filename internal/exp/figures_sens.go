@@ -73,7 +73,7 @@ func (r *Runner) sensitivity(title, param string, values []float64, apply func(*
 	// Fan out over the full (value, scheme, app) grid.
 	nPer := len(sensSchemes) * len(apps)
 	temps := make([]float64, len(values)*nPer)
-	err = runIndexed(context.Background(), r.Opts.workerCount(), len(temps), func(ctx context.Context, i int) error {
+	err = r.runIndexed(context.Background(), len(temps), func(ctx context.Context, i int) error {
 		vi, rest := i/nPer, i%nPer
 		k, app := sensSchemes[rest/len(apps)], apps[rest%len(apps)]
 		o, err := systems[vi].EvaluateUniformWarmCtx(ctx, k, app, baseF, nil)

@@ -67,7 +67,7 @@ func (r *Runner) TempSweepCtx(ctx context.Context) (TempSweep, error) {
 		}
 	}
 	results := make([][]TempPoint, len(chains))
-	err = runIndexed(ctx, r.Opts.workerCount(), len(chains), func(ctx context.Context, i int) error {
+	err = r.runIndexed(ctx, len(chains), func(ctx context.Context, i int) error {
 		c := chains[i]
 		var warm thermal.Temperature
 		pts := make([]TempPoint, 0, len(r.Opts.Freqs))
@@ -174,7 +174,7 @@ func (r *Runner) Figure8() ([]ReductionRow, Table, error) {
 		rows, err = r.figure8Batch(apps)
 	} else {
 		rows = make([]ReductionRow, len(apps))
-		err = runIndexed(context.Background(), r.Opts.workerCount(), len(apps), func(ctx context.Context, i int) error {
+		err = r.runIndexed(context.Background(), len(apps), func(ctx context.Context, i int) error {
 			app := apps[i]
 			b, err := r.Sys.EvaluateUniformWarmCtx(ctx, stack.Base, app, base, nil)
 			if err != nil {
@@ -239,7 +239,7 @@ func (r *Runner) Figure14() ([]IsoCountRow, Table, error) {
 		// One chain per app: both schemes walk the frequency ladder with
 		// their own warm-start field.
 		perApp := make([][]IsoCountRow, len(apps))
-		err = runIndexed(context.Background(), r.Opts.workerCount(), len(apps), func(ctx context.Context, i int) error {
+		err = r.runIndexed(context.Background(), len(apps), func(ctx context.Context, i int) error {
 			app := apps[i]
 			var warmBank, warmIso thermal.Temperature
 			out := make([]IsoCountRow, 0, len(r.Opts.Freqs))

@@ -42,6 +42,9 @@ var (
 	// ErrBadPower marks a power map carrying NaN, Inf or negative cell
 	// power into the thermal solver.
 	ErrBadPower = errors.New("fault: invalid power map")
+	// ErrBadTemp marks a non-finite temperature entering a consumer that
+	// derives control state from it (e.g. the DRAM refresh-rate rule).
+	ErrBadTemp = errors.New("fault: invalid temperature")
 	// ErrInjected tags failures that were injected by an Injector rather
 	// than arising organically; an injected divergence satisfies both
 	// errors.Is(err, ErrDiverged) and errors.Is(err, ErrInjected).
@@ -138,6 +141,26 @@ func (e *BadPowerError) Error() string {
 
 // Is makes errors.Is(err, ErrBadPower) match.
 func (e *BadPowerError) Is(target error) bool { return target == ErrBadPower }
+
+// BadTemperatureError reports a NaN or infinite temperature reaching a
+// temperature-driven control rule.
+type BadTemperatureError struct {
+	// Value is the offending temperature in °C.
+	Value float64
+	// Context names the consumer that rejected it ("dram refresh", ...).
+	Context string
+}
+
+func (e *BadTemperatureError) Error() string {
+	ctx := e.Context
+	if ctx == "" {
+		ctx = "temperature input"
+	}
+	return fmt.Sprintf("invalid temperature %g C for %s", e.Value, ctx)
+}
+
+// Is makes errors.Is(err, ErrBadTemp) match.
+func (e *BadTemperatureError) Is(target error) bool { return target == ErrBadTemp }
 
 // SensorLossError reports a control interval with too few live sensors.
 type SensorLossError struct {

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics       Prometheus text exposition format
+//	/metrics.json  JSON snapshot of every metric
+//	/trace.json    JSON dump of the retained trace events
+//
+// The handler is safe while recording continues; each request renders a
+// fresh snapshot.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteTraceJSON(w)
+	})
+	return mux
+}
+
+// Server is a running metrics listener (see Serve).
+type Server struct {
+	// Addr is the bound listen address ("127.0.0.1:9377"), resolved even
+	// when Serve was asked for port 0.
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts an HTTP listener on addr exposing the registry's Handler
+// and returns once the listener is bound (requests are served on a
+// background goroutine). Close the returned server to stop it. This is
+// the `-metrics-addr` sink: opt-in, and entirely outside the solve path.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

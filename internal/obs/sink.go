@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file renders registry snapshots for the two supported sinks:
+// Prometheus text exposition format (WritePrometheus) and a JSON
+// snapshot (WriteJSON / Snapshot). Rendering never blocks recorders
+// beyond the registry's short entry-list copy: metric values are read
+// with the same atomics the hot paths write.
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, e := range r.snapshotEntries() {
+		switch e.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", e.name, e.name, promFloat(e.g.Value())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if err := writePromHistogram(w, e.name, e.h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram with cumulative le-buckets,
+// _sum and _count, per the exposition format.
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	counts := h.BucketCounts()
+	cum := int64(0)
+	for i, b := range h.Bounds() {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum()), name, h.Count())
+	return err
+}
+
+// promFloat formats a float the way Prometheus expects (shortest
+// round-trip representation; integers without exponent).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistogramSnapshot is one histogram's state in a JSON snapshot.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bounds; Counts has one entry per
+	// bound plus the +Inf overflow bucket (non-cumulative).
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric.
+type Snapshot struct {
+	// TakenNs is when the snapshot was taken, on the registry's
+	// monotonic clock.
+	TakenNs    int64                        `json:"taken_ns"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current metric values (zero Snapshot on nil).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{TakenNs: r.NowNs()}
+	for _, e := range r.snapshotEntries() {
+		switch e.kind {
+		case kindCounter:
+			if s.Counters == nil {
+				s.Counters = make(map[string]int64)
+			}
+			s.Counters[e.name] = e.c.Value()
+		case kindGauge:
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]float64)
+			}
+			s.Gauges[e.name] = e.g.Value()
+		case kindHistogram:
+			if s.Histograms == nil {
+				s.Histograms = make(map[string]HistogramSnapshot)
+			}
+			s.Histograms[e.name] = HistogramSnapshot{
+				Bounds: e.h.Bounds(), Counts: e.h.BucketCounts(),
+				Sum: e.h.Sum(), Count: e.h.Count(),
+			}
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// TraceDump is the JSON shape of a trace-ring dump.
+type TraceDump struct {
+	// Total counts events ever recorded; len(Events) is what the ring
+	// still retains (Total − len(Events) wrapped away).
+	Total  uint64  `json:"total"`
+	Events []Event `json:"events"`
+}
+
+// WriteTraceJSON dumps the retained trace events oldest-first as
+// indented JSON.
+func (r *Registry) WriteTraceJSON(w io.Writer) error {
+	t := r.Trace()
+	d := TraceDump{Total: t.Total(), Events: t.Events()}
+	if d.Events == nil {
+		d.Events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

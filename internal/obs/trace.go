@@ -1,0 +1,131 @@
+package obs
+
+import "sync"
+
+// Attr is one key/value annotation on a trace event. Values are float64
+// because everything the pipeline annotates (iteration counts, residuals,
+// batch widths, temperatures) fits one; keys should be short and stable.
+type Attr struct {
+	Key string  `json:"k"`
+	Val float64 `json:"v"`
+}
+
+// A reports one attribute (shorthand for composing End calls).
+func A(key string, val float64) Attr { return Attr{Key: key, Val: val} }
+
+// Event is one completed span in the trace ring. Timestamps are
+// nanoseconds on the owning registry's monotonic clock (NowNs), so
+// events order and subtract correctly even across wall-clock steps.
+type Event struct {
+	// Seq is the global sequence number of the event (monotonically
+	// increasing; gaps mean the ring wrapped).
+	Seq uint64 `json:"seq"`
+	// Name identifies the span ("thermal.solve", "exp.point", ...).
+	Name string `json:"name"`
+	// StartNs/DurNs locate the span on the registry's monotonic clock.
+	StartNs int64 `json:"start_ns"`
+	DurNs   int64 `json:"dur_ns"`
+	// Attrs carries the span's annotations (may be nil).
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// TraceRing is a fixed-capacity ring buffer of completed spans: cheap
+// enough to leave recording during a full sweep, bounded so a run can
+// never grow it. A nil ring is a valid disabled ring (Start returns a
+// dead Span, every method no-ops), which is how unattached consumers
+// keep a zero-allocation hot path.
+type TraceRing struct {
+	clock func() int64
+
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded
+}
+
+func newTraceRing(capacity int, clock func() int64) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{clock: clock, buf: make([]Event, 0, capacity)}
+}
+
+// Span is an in-flight trace span. The zero Span (from a nil ring) is
+// dead: End on it does nothing.
+type Span struct {
+	t     *TraceRing
+	name  string
+	start int64
+}
+
+// Start opens a span at the current monotonic time.
+func (t *TraceRing) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: t.clock()}
+}
+
+// End closes the span and records it with the given attributes. The
+// variadic slice is retained by the ring until overwritten; callers
+// hand over freshly built attrs (the natural calling pattern).
+func (sp Span) End(attrs ...Attr) {
+	if sp.t == nil {
+		return
+	}
+	end := sp.t.clock()
+	sp.t.record(Event{Name: sp.name, StartNs: sp.start, DurNs: end - sp.start, Attrs: attrs})
+}
+
+// record appends one event, overwriting the oldest once full.
+func (t *TraceRing) record(ev Event) {
+	t.mu.Lock()
+	ev.Seq = t.next
+	t.next++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[int(ev.Seq)%cap(t.buf)] = ev
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first (nil on a nil or empty
+// ring). The returned slice is a copy; Attrs slices are shared with the
+// ring but never mutated after recording.
+func (t *TraceRing) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		return append(out, t.buf...)
+	}
+	// Full ring: oldest sits right after the most recently written slot.
+	head := int(t.next) % cap(t.buf)
+	out = append(out, t.buf[head:]...)
+	return append(out, t.buf[:head]...)
+}
+
+// Total returns how many events were ever recorded (recorded − retained
+// = dropped to wraparound).
+func (t *TraceRing) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (t *TraceRing) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.buf)
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/xylem-sim/xylem/internal/cpusim"
+	"github.com/xylem-sim/xylem/internal/obs"
 	"github.com/xylem-sim/xylem/internal/power"
 	"github.com/xylem-sim/xylem/internal/stack"
 	"github.com/xylem-sim/xylem/internal/thermal"
@@ -39,18 +40,17 @@ type ThermalBatchPoint struct {
 // IterHist/VCycles are batching-invariant), plus the batch-level
 // counters (calls, columns carried, occupancy, deflation).
 func (e *Evaluator) noteBatch(res thermal.BatchResult, k int) {
-	e.statsMu.Lock()
+	m := e.metrics()
 	for j := 0; j < k; j++ {
-		e.solves++
-		e.solveIters += int64(res.Iters[j])
-		e.vcycles += int64(res.VCycles[j])
-		e.iterHist[e.iterHist.bucket(res.Iters[j])]++
+		m.solves.Inc()
+		m.solveIters.Add(int64(res.Iters[j]))
+		m.vcycles.Add(int64(res.VCycles[j]))
+		m.iterHist.Observe(float64(res.Iters[j]))
 	}
-	e.batchedSolves++
-	e.batchedColumns += int64(k)
-	e.deflatedColumns += int64(res.Deflated)
-	e.batchOcc[e.batchOcc.bucket(k)]++
-	e.statsMu.Unlock()
+	m.batchedSolves.Inc()
+	m.batchedColumns.Add(int64(k))
+	m.deflatedCols.Add(int64(res.Deflated))
+	m.batchOcc.Observe(float64(k))
 }
 
 // ThermalBatchCtx runs the power/thermal fixed point of every point in
@@ -69,18 +69,29 @@ func (e *Evaluator) ThermalBatchCtx(ctx context.Context, st *stack.Stack, pts []
 			return nil, fmt.Errorf("perf: activity has zero duration")
 		}
 	}
+	if err := e.validateFixedPoint(); err != nil {
+		return nil, err
+	}
 	sl, err := e.slot(st)
 	if err != nil {
 		return nil, err
 	}
 
-	// Per-point fixed-point state, mirroring ThermalWarmCtx's locals.
+	// Per-point fixed-point state, mirroring ThermalWarmCtx's locals —
+	// including the per-point leakage accounting ThermalWarmCtx emits, so
+	// the metrics are batching-invariant like the results.
+	m := e.metrics()
+	sp := m.trace.Start("perf.fixed_point_batch")
 	temps := make([]thermal.Temperature, k)
 	seed := make([]thermal.Temperature, k)
 	prevHot := make([]float64, k)
+	itersUsed := make([]int, k)
+	delta := make([]float64, k)
+	converged := make([]bool, k)
 	for i, pt := range pts {
 		seed[i] = pt.Warm
 		prevHot[i] = math.Inf(-1)
+		delta[i] = math.Inf(1)
 	}
 
 	blockTemp := func(i int) func(string) float64 {
@@ -150,7 +161,9 @@ func (e *Evaluator) ThermalBatchCtx(ctx context.Context, st *stack.Stack, pts []
 			seed[i] = t
 			hot, _ := t.Max(st.ProcMetalLayer)
 			outs[i].ProcHotC = hot
-			if math.Abs(hot-prevHot[i]) < e.ConvergeC {
+			itersUsed[i], delta[i] = iter+1, math.Abs(hot-prevHot[i])
+			if delta[i] < e.ConvergeC {
+				converged[i] = true
 				continue // this point's fixed point has converged: retire it
 			}
 			prevHot[i] = hot
@@ -158,6 +171,17 @@ func (e *Evaluator) ThermalBatchCtx(ctx context.Context, st *stack.Stack, pts []
 		}
 		active = next
 	}
+
+	nExhausted := 0
+	for i := 0; i < k; i++ {
+		m.leakIters.Observe(float64(itersUsed[i]))
+		m.leakDelta.Set(delta[i])
+		if !converged[i] {
+			m.leakExhausted.Inc()
+			nExhausted++
+		}
+	}
+	sp.End(obs.A("points", float64(k)), obs.A("exhausted", float64(nExhausted)))
 
 	for i, pt := range pts {
 		d0, _ := temps[i].Max(st.DRAMMetalLayers[0])

@@ -19,6 +19,7 @@ import (
 	"github.com/xylem-sim/xylem/internal/cpusim"
 	"github.com/xylem-sim/xylem/internal/fault"
 	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/obs"
 	"github.com/xylem-sim/xylem/internal/power"
 	"github.com/xylem-sim/xylem/internal/stack"
 	"github.com/xylem-sim/xylem/internal/thermal"
@@ -40,9 +41,16 @@ type Evaluator struct {
 	SimCfg cpusim.Config
 	Power  *power.Model
 
-	// LeakageIters bounds the power↔thermal fixed-point iterations.
+	// LeakageIters bounds the power↔thermal fixed-point iterations. It
+	// must be at least 1; the thermal entry points reject anything less
+	// (a zero-iteration fixed point would return no field at all).
 	LeakageIters int
-	// ConvergeC is the hotspot convergence threshold in °C.
+	// ConvergeC is the hotspot convergence threshold in °C: the fixed
+	// point retires once successive hotspot estimates differ by less
+	// than it. Zero is a documented sentinel — never declare
+	// convergence, always run all LeakageIters (the fixed-budget mode
+	// determinism studies use). Negative or NaN values are rejected at
+	// evaluation entry instead of silently behaving like the sentinel.
 	ConvergeC float64
 
 	// SolveRetries is how many times a diverged or budget-exhausted
@@ -72,17 +80,13 @@ type Evaluator struct {
 	mu      sync.Mutex // guards the cache pointers/maps below
 	cache   *activityCache
 	solvers map[*stack.Stack]*solverSlot
+	// met backs the Stats work counters with an obs registry — a private
+	// one by default, the caller's after AttachObs (see obs.go).
+	met *evalMetrics
 
-	statsMu         sync.Mutex
-	activityRuns    int
-	solves          int
-	solveIters      int64
-	vcycles         int64
-	iterHist        IterHist
-	batchedSolves   int
-	batchedColumns  int64
-	deflatedColumns int64
-	batchOcc        IterHist
+	// statsMu guards DegradedSolves (a plain exported field, unlike the
+	// registry-backed counters).
+	statsMu sync.Mutex
 }
 
 // IterHist is a power-of-two histogram of per-solve CG iteration counts:
@@ -225,21 +229,26 @@ type Stats struct {
 	BatchOcc IterHist
 }
 
-// Stats returns a consistent snapshot of the work counters.
+// Stats returns a snapshot of the work counters. Read it after the
+// concurrent work whose counts it should cover has drained — the
+// counters are registry-backed atomics, individually exact but not
+// mutually frozen while solves are in flight.
 func (e *Evaluator) Stats() Stats {
+	m := e.metrics()
 	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
+	degraded := e.DegradedSolves
+	e.statsMu.Unlock()
 	return Stats{
-		ActivityRuns:    e.activityRuns,
-		Solves:          e.solves,
-		SolveIters:      e.solveIters,
-		VCycles:         e.vcycles,
-		IterHist:        e.iterHist,
-		DegradedSolves:  e.DegradedSolves,
-		BatchedSolves:   e.batchedSolves,
-		BatchedColumns:  e.batchedColumns,
-		DeflatedColumns: e.deflatedColumns,
-		BatchOcc:        e.batchOcc,
+		ActivityRuns:    int(m.activityRuns.Value()),
+		Solves:          int(m.solves.Value()),
+		SolveIters:      m.solveIters.Value(),
+		VCycles:         m.vcycles.Value(),
+		IterHist:        iterHistFromObs(m.iterHist),
+		DegradedSolves:  degraded,
+		BatchedSolves:   int(m.batchedSolves.Value()),
+		BatchedColumns:  m.batchedColumns.Value(),
+		DeflatedColumns: m.deflatedCols.Value(),
+		BatchOcc:        iterHistFromObs(m.batchOcc),
 	}
 }
 
@@ -349,9 +358,7 @@ func (e *Evaluator) runActivity(slices int, freqs []float64, assigns []cpusim.As
 	if err != nil {
 		return cpusim.Result{}, err
 	}
-	e.statsMu.Lock()
-	e.activityRuns++
-	e.statsMu.Unlock()
+	e.metrics().activityRuns.Inc()
 	return res, nil
 }
 
@@ -397,6 +404,9 @@ func (e *Evaluator) slot(st *stack.Stack) (*solverSlot, error) {
 	}
 	s.Workers = e.Workers
 	s.DefaultPrecond = e.Precond
+	if e.met != nil && e.met.external {
+		s.AttachObs(e.met.reg)
+	}
 	sl := &solverSlot{s: s}
 	e.solvers[st] = sl
 	return sl, nil
@@ -418,12 +428,27 @@ func (e *Evaluator) SolverFor(st *stack.Stack) (*thermal.Solver, error) {
 // the iteration and V-cycle counts off the solver that just ran (the
 // slot lock is still held, so LastIters/LastVCycles are this solve's).
 func (e *Evaluator) noteSolve(solver *thermal.Solver) {
-	e.statsMu.Lock()
-	e.solves++
-	e.solveIters += int64(solver.LastIters)
-	e.vcycles += int64(solver.LastVCycles)
-	e.iterHist[e.iterHist.bucket(solver.LastIters)]++
-	e.statsMu.Unlock()
+	m := e.metrics()
+	m.solves.Inc()
+	m.solveIters.Add(int64(solver.LastIters))
+	m.vcycles.Add(int64(solver.LastVCycles))
+	m.iterHist.Observe(float64(solver.LastIters))
+}
+
+// validateFixedPoint rejects fixed-point configurations that would
+// silently misbehave: LeakageIters < 1 runs no thermal solve at all (the
+// zero-value Evaluator used to nil-panic downstream), and a negative or
+// NaN ConvergeC makes the convergence comparison unconditionally false —
+// indistinguishable from the documented ConvergeC == 0 "run the full
+// budget" sentinel, but never what the caller meant.
+func (e *Evaluator) validateFixedPoint() error {
+	if e.LeakageIters < 1 {
+		return fmt.Errorf("perf: LeakageIters = %d, want >= 1", e.LeakageIters)
+	}
+	if math.IsNaN(e.ConvergeC) || e.ConvergeC < 0 {
+		return fmt.Errorf("perf: ConvergeC = %g, want >= 0 (0 = run all LeakageIters)", e.ConvergeC)
+	}
+	return nil
 }
 
 // retryableSolveErr reports whether the degradation policy applies to a
@@ -480,6 +505,7 @@ func (e *Evaluator) retryRelaxed(ctx context.Context, sl *solverSlot, pm thermal
 			e.statsMu.Lock()
 			e.DegradedSolves++
 			e.statsMu.Unlock()
+			e.metrics().degraded.Inc()
 			return t, nil
 		}
 		err = retryErr
@@ -532,6 +558,9 @@ func (e *Evaluator) ThermalWarmCtx(ctx context.Context, st *stack.Stack, freqs [
 	if res.TimeNs <= 0 {
 		return Outcome{}, fmt.Errorf("perf: activity has zero duration")
 	}
+	if err := e.validateFixedPoint(); err != nil {
+		return Outcome{}, err
+	}
 	sl, err := e.slot(st)
 	if err != nil {
 		return Outcome{}, err
@@ -552,6 +581,22 @@ func (e *Evaluator) ThermalWarmCtx(ctx context.Context, st *stack.Stack, freqs [
 	var out Outcome
 	prevHot := math.Inf(-1)
 	seed := warm
+	m := e.metrics()
+	sp := m.trace.Start("perf.fixed_point")
+	itersUsed, delta, converged := 0, math.Inf(1), false
+	defer func() {
+		m.leakIters.Observe(float64(itersUsed))
+		m.leakDelta.Set(delta)
+		if !converged {
+			m.leakExhausted.Inc()
+		}
+		conv := 0.0
+		if converged {
+			conv = 1
+		}
+		sp.End(obs.A("iters", float64(itersUsed)),
+			obs.A("delta_c", delta), obs.A("converged", conv))
+	}()
 	for iter := 0; iter < e.LeakageIters; iter++ {
 		procBP, err := e.Power.ProcPower(st.Proc, res, freqs, res.TimeNs, blockTemp)
 		if err != nil {
@@ -574,7 +619,9 @@ func (e *Evaluator) ThermalWarmCtx(ctx context.Context, st *stack.Stack, freqs [
 		out.ProcPowerW = power.TotalProc(procBP)
 		out.DRAMPowerW = power.TotalDRAM(sliceP)
 		out.ProcHotC = hot
-		if math.Abs(hot-prevHot) < e.ConvergeC {
+		itersUsed, delta = iter+1, math.Abs(hot-prevHot)
+		if delta < e.ConvergeC {
+			converged = true
 			break
 		}
 		prevHot = hot

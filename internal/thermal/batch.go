@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"github.com/xylem-sim/xylem/internal/fault"
+	"github.com/xylem-sim/xylem/internal/obs"
 )
 
 // BatchOpts carries per-batch solve parameters. Everything is scoped to
@@ -158,9 +159,9 @@ func (s *Solver) runBatchChunks(activeCells int, f func(c int)) {
 // BatchResult.Errs without disturbing the other columns; the returned
 // error is non-nil only for batch-level failures (malformed options,
 // cancellation — which also marks every unfinished column).
-func (s *Solver) SteadyStateBatch(ctx context.Context, pms []PowerMap, opts BatchOpts) (BatchResult, error) {
+func (s *Solver) SteadyStateBatch(ctx context.Context, pms []PowerMap, opts BatchOpts) (res BatchResult, _ error) {
 	k := len(pms)
-	res := BatchResult{
+	res = BatchResult{
 		Temps:   make([]Temperature, k),
 		Errs:    make([]error, k),
 		Iters:   make([]int, k),
@@ -192,6 +193,28 @@ func (s *Solver) SteadyStateBatch(ctx context.Context, pms []PowerMap, opts Batc
 			return res, err
 		}
 		return res, nil
+	}
+	if o := s.obs; o != nil {
+		// k > 1 from here on: a one-column batch already reported through
+		// cg's per-solve instrumentation above. Batched columns never run
+		// cg, so their per-column iteration/V-cycle/failure accounting
+		// happens here — the same metrics a sequential sweep would emit.
+		sp := o.trace.Start("thermal.solve_batch")
+		defer func() {
+			o.batches.Inc()
+			o.batchWidth.Observe(float64(k))
+			o.deflations.Add(int64(res.Deflated))
+			for j := range res.Iters {
+				o.solves.Inc()
+				o.iters.Observe(float64(res.Iters[j]))
+				o.vcycles.Observe(float64(res.VCycles[j]))
+				if res.Errs[j] != nil {
+					o.failures.Inc()
+				}
+			}
+			sp.End(obs.A("width", float64(k)),
+				obs.A("deflated", float64(res.Deflated)))
+		}()
 	}
 	bs := s.ensureBatch(k)
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/xylem-sim/xylem/internal/fault"
+	"github.com/xylem-sim/xylem/internal/obs"
 )
 
 // SolveHook is consulted at the start of every linear solve. It can
@@ -93,6 +94,11 @@ type Solver struct {
 	shiftValid  bool
 	shiftCached float64
 
+	// obs holds pre-resolved metric handles when a registry is attached
+	// via AttachObs (nil = disabled: the solve path pays one nil check
+	// and allocates nothing). See obs.go.
+	obs *solverObs
+
 	// LastIters and LastResidual report the iteration count and final
 	// relative residual of the most recent solve (including failed
 	// ones), for diagnostics and degradation reporting. LastVCycles is
@@ -155,6 +161,7 @@ func (s *Solver) Clone() *Solver {
 		Hook:           s.Hook,
 		Workers:        s.Workers,
 		DefaultPrecond: s.DefaultPrecond,
+		obs:            s.obs,
 	}
 	c.r = make([]float64, c.n)
 	c.z = make([]float64, c.n)
@@ -288,7 +295,7 @@ func stagnationWindowFor(maxIter int) int {
 // partials reduced in chunk order, so the arithmetic — and therefore the
 // iterate, the residual history and the iteration count — is
 // bitwise-identical for any Workers setting.
-func (s *Solver) cg(ctx context.Context, b, x []float64, shift float64, opts SolveOpts) (int, error) {
+func (s *Solver) cg(ctx context.Context, b, x []float64, shift float64, opts SolveOpts) (iters int, err error) {
 	tol := opts.Tol
 	if tol <= 0 {
 		tol = s.Tol
@@ -302,6 +309,25 @@ func (s *Solver) cg(ctx context.Context, b, x []float64, shift float64, opts Sol
 	}
 	vcycles := 0
 	defer func() { s.LastVCycles = vcycles }()
+	if o := s.obs; o != nil {
+		sp := o.trace.Start("thermal.solve")
+		defer func() {
+			o.solves.Inc()
+			if err != nil {
+				o.failures.Inc()
+			}
+			o.iters.Observe(float64(iters))
+			o.vcycles.Observe(float64(vcycles))
+			residual := math.NaN()
+			if iters > 0 || err == nil {
+				residual = s.LastResidual
+				o.residual.Set(residual)
+			}
+			sp.End(obs.A("iters", float64(iters)),
+				obs.A("vcycles", float64(vcycles)),
+				obs.A("residual", residual))
+		}()
+	}
 	maxIter, injected := s.MaxIter, false
 	if s.Hook != nil {
 		mi, err := s.Hook()

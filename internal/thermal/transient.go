@@ -10,6 +10,13 @@ type TransientState struct {
 	s *Solver
 	// x is the current temperature vector.
 	x []float64
+	// prev is the rollback snapshot taken at the top of every step (a
+	// failed solve may have scribbled on the warm-start vector). Owned by
+	// the state and reused so stepping allocates no per-step field copy;
+	// lazily sized on the first step.
+	prev []float64
+	// b is the per-step right-hand side, reused for the same reason.
+	b []float64
 	// Time is the simulated time in seconds since the state was created.
 	Time float64
 }
@@ -66,7 +73,10 @@ func (ts *TransientState) StepOpts(ctx context.Context, power PowerMap, dt float
 	if err := s.validatePower(power); err != nil {
 		return err
 	}
-	b := make([]float64, s.n)
+	if ts.b == nil {
+		ts.b = make([]float64, s.n)
+	}
+	b := ts.b
 	inv := 1 / dt
 	for li, lp := range power {
 		base := li * s.nPerLayer
@@ -82,12 +92,17 @@ func (ts *TransientState) StepOpts(ctx context.Context, power PowerMap, dt float
 	}
 	// Warm start from the current field: for small dt the solution is
 	// close, so CG converges in a handful of iterations. A failed solve
-	// may have scribbled on the warm-start vector, so snapshot it and
-	// roll back on error — a degraded pipeline keeps a valid field.
-	prev := append([]float64(nil), ts.x...)
+	// may have scribbled on the warm-start vector, so snapshot it into
+	// the state-owned scratch and roll back on error — a degraded
+	// pipeline keeps a valid field, and steady stepping stays free of
+	// per-step field-sized allocations.
+	if ts.prev == nil {
+		ts.prev = make([]float64, s.n)
+	}
+	copy(ts.prev, ts.x)
 	opts.Warm = nil
 	if _, err := s.cg(ctx, b, ts.x, inv, opts); err != nil {
-		copy(ts.x, prev)
+		copy(ts.x, ts.prev)
 		return err
 	}
 	ts.Time += dt

@@ -1,8 +1,11 @@
 package thermal
 
 import (
+	"errors"
 	"math"
 	"testing"
+
+	"github.com/xylem-sim/xylem/internal/fault"
 )
 
 // A transient run under constant power must approach the steady-state
@@ -135,6 +138,123 @@ func TestTransientRejectsBadInput(t *testing.T) {
 	}
 	if _, err := s.NewTransient(Temperature{}); err == nil {
 		t.Fatal("empty field accepted")
+	}
+}
+
+// A step whose inner solve fails — injected divergence, collapsed
+// iteration budget, or cancellation — must leave the field bit-for-bit
+// at its pre-step values and Time unchanged, and the state must keep
+// stepping correctly once the fault clears (the rollback scratch is
+// reused, never handed out).
+func TestTransientRollbackOnFailedSolve(t *testing.T) {
+	m := slabModel(6, 6, 3, 100e-6, 120, 25000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPowerMap()
+	p[0][m.Grid.Index(3, 3)] = 5
+	ts := s.NewTransientAmbient()
+	for i := 0; i < 5; i++ {
+		if err := ts.Step(p, 2e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	checkRolledBack := func(name string, wantErr error, hook SolveHook) {
+		t.Helper()
+		before := ts.Field()
+		t0 := ts.Time
+		s.Hook = hook
+		err := ts.Step(p, 2e-3)
+		s.Hook = nil
+		if !errors.Is(err, wantErr) || !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("%s: err = %v, want injected %v", name, err, wantErr)
+		}
+		if ts.Time != t0 {
+			t.Fatalf("%s: failed step advanced Time to %g", name, ts.Time)
+		}
+		after := ts.Field()
+		for li := range before {
+			for c := range before[li] {
+				if before[li][c] != after[li][c] {
+					t.Fatalf("%s: failed step altered layer %d cell %d: %g -> %g",
+						name, li, c, before[li][c], after[li][c])
+				}
+			}
+		}
+	}
+	checkRolledBack("divergence", fault.ErrDiverged, func() (int, error) {
+		return 0, &fault.DivergenceError{Injected: true, Detail: "test"}
+	})
+	checkRolledBack("collapsed budget", fault.ErrBudget, func() (int, error) { return 1, nil })
+
+	// The state stays usable: an identical fault-free run from the same
+	// starting point must land exactly where the faulted-and-recovered
+	// state does.
+	ref := s.NewTransientAmbient()
+	for i := 0; i < 5; i++ {
+		if err := ref.Step(p, 2e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := ts.Step(p, 2e-3); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Step(p, 2e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ts.Time != ref.Time {
+		t.Fatalf("recovered Time %g != clean Time %g", ts.Time, ref.Time)
+	}
+	got, want := ts.Field(), ref.Field()
+	for li := range want {
+		for c := range want[li] {
+			if got[li][c] != want[li][c] {
+				t.Fatalf("recovered state diverged from clean run at layer %d cell %d: %g vs %g",
+					li, c, got[li][c], want[li][c])
+			}
+		}
+	}
+}
+
+// Repeated stepping must not allocate a fresh field-sized snapshot or
+// RHS per step: both are state-owned scratch, sized lazily on the first
+// step and reused ever after (including across failed, rolled-back
+// steps).
+func TestTransientStepReusesScratch(t *testing.T) {
+	m := slabModel(8, 8, 4, 100e-6, 120, 25000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPowerMap()
+	p[0][m.Grid.Index(4, 4)] = 5
+	ts := s.NewTransientAmbient()
+	if ts.prev != nil || ts.b != nil {
+		t.Fatal("scratch allocated before the first step")
+	}
+	if err := ts.Step(p, 2e-3); err != nil {
+		t.Fatal(err)
+	}
+	prev0, b0 := &ts.prev[0], &ts.b[0]
+	if err := ts.Step(p, 2e-3); err != nil {
+		t.Fatal(err)
+	}
+	s.Hook = func() (int, error) {
+		return 0, &fault.DivergenceError{Injected: true}
+	}
+	if err := ts.Step(p, 2e-3); err == nil {
+		t.Fatal("injected fault not reported")
+	}
+	s.Hook = nil
+	if err := ts.Step(p, 2e-3); err != nil {
+		t.Fatal(err)
+	}
+	if &ts.prev[0] != prev0 || &ts.b[0] != b0 {
+		t.Fatal("Step reallocated state-owned scratch")
 	}
 }
 
