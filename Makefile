@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke obs-smoke profile figures faults-smoke examples clean
+.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke obs-smoke resume-smoke profile figures faults-smoke examples clean
 
 all: build vet test
 
@@ -62,6 +62,13 @@ batch-smoke:
 # scrape carried solver metrics and trace spans.
 obs-smoke:
 	$(GO) run ./cmd/xylem obs-smoke -id 7 -grid 16 -apps lu-nas,fft -instr 60000 -freqs 2.4,3.5 -workers 4 -batch 2
+
+# CI gate for the checkpoint/resume engine: run a small figure, kill it
+# at a checkpoint boundary via the crash-injection hook, resume from the
+# snapshots it left, and fail unless the resumed table is byte-identical
+# and (at -workers 1) the combined solver-work counters match exactly.
+resume-smoke:
+	$(GO) run ./cmd/xylem resume-smoke -id 7 -grid 16 -apps lu-nas,fft -instr 60000 -freqs 2.4,3.5 -workers 1 -kill-after 3
 
 # CPU+heap profile of a batched Figure 7 sweep; inspect with
 # `go tool pprof cpu.prof`.

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/xylem-sim/xylem/internal/ckpt"
 	"github.com/xylem-sim/xylem/internal/config"
 	"github.com/xylem-sim/xylem/internal/core"
 	"github.com/xylem-sim/xylem/internal/exp"
@@ -62,6 +63,10 @@ func main() {
 		err = cmdParbench(args)
 	case "obs-smoke":
 		err = cmdObsSmoke(args)
+	case "resume":
+		err = cmdResume(args)
+	case "resume-smoke":
+		err = cmdResumeSmoke(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -87,10 +92,16 @@ func usage() {
   faults     sensor/power fault-injection sweep of the guarded DTM
   parbench   time the Figure 7 sweep serial vs parallel vs warm-started
   obs-smoke  run a figure with and without metrics; assert identical tables
+  resume     continue an interrupted sweep from its -checkpoint directory
+  resume-smoke  kill a sweep at a checkpoint, resume it, assert identical tables
 
 Experiment commands accept -metrics-addr HOST:PORT to serve live
 Prometheus/JSON metrics and a trace dump while they run; 'xylem trace
--obs HOST:PORT' fetches the trace ring from such a process.`)
+-obs HOST:PORT' fetches the trace ring from such a process.
+
+Sweep commands accept -checkpoint DIR to persist crash-safe progress
+snapshots, -resume to continue from them, and -retries/-quarantine to
+retry failing points down a degradation ladder.`)
 }
 
 // cliOpts holds the shared experiment flags registered by optFlags.
@@ -99,6 +110,12 @@ type cliOpts struct {
 	grid, instr, workers, batch *int
 	cpuprofile, memprofile      *string
 	metricsAddr                 *string
+	checkpoint                  *string
+	resume                      *bool
+	ckptEvery                   *int
+	retries                     *int
+	quarantine                  *bool
+	retrySeed                   *uint64
 }
 
 // optFlags registers the shared experiment flags on a FlagSet.
@@ -114,6 +131,12 @@ func optFlags(fs *flag.FlagSet) *cliOpts {
 		cpuprofile:  fs.String("cpuprofile", "", "write a CPU profile to this path"),
 		memprofile:  fs.String("memprofile", "", "write a heap profile to this path at exit"),
 		metricsAddr: fs.String("metrics-addr", "", "serve Prometheus/JSON metrics and a trace dump on this address (empty = off)"),
+		checkpoint:  fs.String("checkpoint", "", "persist crash-safe sweep progress in this directory (empty = off)"),
+		resume:      fs.Bool("resume", false, "resume the sweep from the -checkpoint directory"),
+		ckptEvery:   fs.Int("ckpt-every", 0, "ladder rungs between checkpoint snapshots (0 = every rung)"),
+		retries:     fs.Int("retries", 0, "retry failed sweep points down a degradation ladder this many times (0 = off)"),
+		quarantine:  fs.Bool("quarantine", false, "skip points that exhaust their retries instead of failing the sweep"),
+		retrySeed:   fs.Uint64("retry-seed", 1, "seed for the deterministic retry-backoff jitter"),
 	}
 }
 
@@ -147,10 +170,22 @@ func (c *cliOpts) options() (exp.Options, error) {
 			o.Freqs = append(o.Freqs, f)
 		}
 	}
+	if *c.resume && *c.checkpoint == "" {
+		return exp.Options{}, fmt.Errorf("-resume requires -checkpoint DIR")
+	}
+	if *c.checkpoint != "" {
+		o.Checkpoint = &exp.CkptConfig{Dir: *c.checkpoint, Every: *c.ckptEvery, Resume: *c.resume}
+	}
+	if *c.retries > 0 || *c.quarantine {
+		o.Supervise = &exp.SuperviseConfig{Retries: *c.retries, Seed: *c.retrySeed, Quarantine: *c.quarantine}
+	}
 	return o, nil
 }
 
-func newRunner(fs *flag.FlagSet, args []string) (*exp.Runner, error) {
+// newRunner parses the shared flags and builds a Runner. label names the
+// figure the command drives, recorded in the checkpoint manifest so
+// `xylem resume` can rerun it.
+func newRunner(fs *flag.FlagSet, args []string, label string) (*exp.Runner, error) {
 	c := optFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -159,12 +194,15 @@ func newRunner(fs *flag.FlagSet, args []string) (*exp.Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.Checkpoint != nil {
+		o.Checkpoint.Label = label
+	}
 	return exp.NewRunner(o)
 }
 
 func cmdBoost(args []string) error {
 	fs := flag.NewFlagSet("boost", flag.ContinueOnError)
-	r, err := newRunner(fs, args)
+	r, err := newRunner(fs, args, "boost")
 	if err != nil {
 		return err
 	}
@@ -194,6 +232,9 @@ func cmdFigureFlag(args []string) error {
 	if err != nil {
 		return err
 	}
+	if o.Checkpoint != nil {
+		o.Checkpoint.Label = *id
+	}
 	r, err := exp.NewRunner(o)
 	if err != nil {
 		return err
@@ -213,7 +254,7 @@ var tableOut io.Writer = os.Stdout
 
 func cmdFigure(id string, args []string) error {
 	fs := flag.NewFlagSet("temps", flag.ContinueOnError)
-	r, err := newRunner(fs, args)
+	r, err := newRunner(fs, args, id)
 	if err != nil {
 		return err
 	}
@@ -238,6 +279,12 @@ func runFigure(r *exp.Runner, id string) error {
 		fmt.Printf("batched solves: %d calls over %d columns, %d deflated early; occupancy %s\n",
 			d.BatchedSolves, d.BatchedColumns, d.DeflatedColumns, d.BatchOcc)
 	}
+	if quar := r.Quarantined(); len(quar) > 0 {
+		fmt.Printf("quarantined %d point(s) — their table cells are gaps:\n", len(quar))
+		for _, q := range quar {
+			fmt.Printf("  %s\n", q.Error())
+		}
+	}
 	return nil
 }
 
@@ -248,12 +295,7 @@ func runFigureTable(r *exp.Runner, id string) error {
 		}
 		t.Fprint(tableOut)
 		if csvOut != "" {
-			f, err := os.Create(csvOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			if err := t.CSV(f); err != nil {
+			if err := ckpt.WriteFileAtomic(csvOut, t.CSV); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", csvOut)
@@ -334,10 +376,16 @@ func runFigureTable(r *exp.Runner, id string) error {
 
 func cmdAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ContinueOnError)
-	r, err := newRunner(fs, args)
+	r, err := newRunner(fs, args, "all")
 	if err != nil {
 		return err
 	}
+	return cmdAllFigures(r)
+}
+
+// cmdAllFigures regenerates every figure on one Runner; `xylem resume`
+// reuses it when the interrupted run was `xylem all`.
+func cmdAllFigures(r *exp.Runner) error {
 	ids := []string{"area", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "19"}
 	for _, id := range ids {
 		if err := runFigure(r, id); err != nil {
@@ -404,12 +452,10 @@ func cmdHeatmap(args []string) error {
 		return err
 	}
 	if *ppmPath != "" {
-		f, err := os.Create(*ppmPath)
+		err := ckpt.WriteFileAtomic(*ppmPath, func(w io.Writer) error {
+			return render.PPM(w, st.Model.Grid, o.Temps[st.ProcMetalLayer], 16)
+		})
 		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := render.PPM(f, st.Model.Grid, o.Temps[st.ProcMetalLayer], 16); err != nil {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", *ppmPath)
@@ -487,12 +533,7 @@ func cmdFaults(args []string) error {
 	}
 	t.Fprint(os.Stdout)
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := t.CSV(f); err != nil {
+		if err := ckpt.WriteFileAtomic(*csvPath, t.CSV); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
@@ -511,37 +552,28 @@ func cmdTrace(args []string) error {
 		return err
 	}
 	if *obsAddr != "" {
-		w := io.Writer(os.Stdout)
-		if *out != "" {
-			f, err := os.Create(*out)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
+		if *out == "" {
+			return fetchTrace(*obsAddr, os.Stdout)
 		}
-		return fetchTrace(*obsAddr, w)
+		return ckpt.WriteFileAtomic(*out, func(w io.Writer) error {
+			return fetchTrace(*obsAddr, w)
+		})
 	}
 	p, err := workload.ByName(*app)
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	write := func(w io.Writer) error {
+		fmt.Fprintf(w, "# xylem trace: app=%s thread=%d n=%d\n", *app, *thread, *n)
+		return workload.WriteTrace(w, workload.NewTrace(p, *thread), *n)
 	}
-	fmt.Fprintf(w, "# xylem trace: app=%s thread=%d n=%d\n", *app, *thread, *n)
-	if err := workload.WriteTrace(w, workload.NewTrace(p, *thread), *n); err != nil {
+	if *out == "" {
+		return write(os.Stdout)
+	}
+	if err := ckpt.WriteFileAtomic(*out, write); err != nil {
 		return err
 	}
-	if *out != "" {
-		fmt.Printf("wrote %d instructions to %s\n", *n, *out)
-	}
+	fmt.Printf("wrote %d instructions to %s\n", *n, *out)
 	return nil
 }
 

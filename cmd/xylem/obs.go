@@ -35,10 +35,12 @@ func startMetrics(addr string) (*obs.Registry, error) {
 	return reg, nil
 }
 
-// stopMetrics closes the metrics listener, if one was started.
+// stopMetrics shuts the metrics listener down gracefully, if one was
+// started: an in-flight scrape at process exit finishes instead of
+// being cut mid-response.
 func stopMetrics() {
 	if metricsServer != nil {
-		_ = metricsServer.Close()
+		_ = metricsServer.Shutdown()
 		metricsServer = nil
 	}
 }

@@ -4,10 +4,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
+	"io"
 	"runtime"
 	"time"
 
+	"github.com/xylem-sim/xylem/internal/ckpt"
 	"github.com/xylem-sim/xylem/internal/exp"
 )
 
@@ -252,14 +253,12 @@ func cmdParbench(args []string) error {
 		fmt.Println("  WARNING: batched parallel tables are NOT byte-identical to batched serial")
 	}
 
-	f, err := os.Create(*out)
+	err = ckpt.WriteFileAtomic(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	})
 	if err != nil {
-		return err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)

@@ -1,0 +1,301 @@
+// Package ckpt is the crash-safe checkpoint subsystem: a versioned,
+// CRC-framed snapshot format plus a Store that writes snapshots
+// atomically (write-temp, fsync, rename, fsync-dir) and loads the newest
+// intact one back, falling back across corrupt or truncated files to the
+// last good snapshot.
+//
+// A Snapshot is a set of named binary sections; consumers (the sweep
+// engine in internal/exp, and eventually the fleet replayer and xylemd)
+// define their own section payloads with the Enc/Dec codec. The format
+// is deliberately dumb: fixed little-endian framing, one CRC-32C over
+// the entire body, no compression, no references between sections — a
+// file truncated or bit-flipped at ANY byte either fails the magic, the
+// length check or the checksum, and decoding degrades to the previous
+// snapshot instead of panicking or returning silently wrong state.
+//
+// On-disk layout (version 1, everything little-endian):
+//
+//	offset 0   magic    8 bytes  "XYCKSNP1" (format + version)
+//	offset 8   bodyCRC  u32      CRC-32C (Castagnoli) of the body
+//	offset 12  bodyLen  u64      length of the body in bytes
+//	offset 20  body:
+//	           seq      u64      monotonic snapshot sequence number
+//	           nsect    u32      section count
+//	           sections, sorted by name, each:
+//	             nameLen u32, name bytes
+//	             payLen  u64, payload bytes
+//
+// The package is a leaf: it imports only the standard library, so any
+// layer of the pipeline can depend on it.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Magic identifies a version-1 snapshot file.
+const Magic = "XYCKSNP1"
+
+// headerLen is the fixed prefix before the body: magic + CRC + length.
+const headerLen = 8 + 4 + 8
+
+// castagnoli is the CRC-32C table used for body checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Sentinel errors. Consumers classify with errors.Is; CorruptError
+// carries the detail.
+var (
+	// ErrNoCheckpoint means the store holds no snapshot at all (a fresh
+	// directory, or every file was pruned).
+	ErrNoCheckpoint = errors.New("ckpt: no checkpoint found")
+	// ErrCorrupt marks a snapshot file that failed framing, length or
+	// checksum validation. Store.Load only returns it when no older
+	// intact snapshot exists to fall back to.
+	ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+)
+
+// CorruptError reports why a snapshot file was rejected.
+type CorruptError struct {
+	// Path is the offending file; Reason the validation that failed.
+	Path, Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("ckpt: corrupt checkpoint %s: %s", e.Path, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) match.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// Snapshot is one point-in-time checkpoint: a monotonic sequence number
+// and a set of named binary sections.
+type Snapshot struct {
+	// Seq is the snapshot's sequence number. Save assigns it (one past
+	// the newest snapshot in the store), so writers leave it zero.
+	Seq      uint64
+	sections map[string][]byte
+}
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{sections: make(map[string][]byte)}
+}
+
+// Put stores a section payload under name, replacing any previous value.
+// The snapshot keeps its own copy, so callers may reuse the buffer.
+func (s *Snapshot) Put(name string, payload []byte) {
+	if s.sections == nil {
+		s.sections = make(map[string][]byte)
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	s.sections[name] = cp
+}
+
+// Get returns a section payload by name.
+func (s *Snapshot) Get(name string) ([]byte, bool) {
+	b, ok := s.sections[name]
+	return b, ok
+}
+
+// Names returns the section names in sorted (encoding) order.
+func (s *Snapshot) Names() []string {
+	out := make([]string, 0, len(s.sections))
+	for n := range s.sections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Encode renders the snapshot to its on-disk bytes. Sections are written
+// in sorted name order, so the encoding of equal contents is
+// byte-identical regardless of insertion order.
+func (s *Snapshot) Encode() []byte {
+	var body Enc
+	body.U64(s.Seq)
+	names := s.Names()
+	body.U32(uint32(len(names)))
+	for _, n := range names {
+		body.Str(n)
+		body.Blob(s.sections[n])
+	}
+	b := body.Data()
+
+	out := make([]byte, 0, headerLen+len(b))
+	out = append(out, Magic...)
+	var hdr Enc
+	hdr.U32(crc32.Checksum(b, castagnoli))
+	hdr.U64(uint64(len(b)))
+	out = append(out, hdr.Data()...)
+	return append(out, b...)
+}
+
+// DecodeSnapshot parses on-disk bytes back into a Snapshot. Any framing,
+// length or checksum violation — including truncation at an arbitrary
+// byte — yields a *CorruptError (never a panic, never partial data).
+// path only labels the error.
+func DecodeSnapshot(path string, raw []byte) (*Snapshot, error) {
+	corrupt := func(reason string) (*Snapshot, error) {
+		return nil, &CorruptError{Path: path, Reason: reason}
+	}
+	if len(raw) < headerLen {
+		return corrupt(fmt.Sprintf("file too short: %d bytes", len(raw)))
+	}
+	if string(raw[:8]) != Magic {
+		return corrupt("bad magic")
+	}
+	hdr := NewDec(raw[8:headerLen])
+	wantCRC := hdr.U32()
+	bodyLen := hdr.U64()
+	body := raw[headerLen:]
+	if uint64(len(body)) != bodyLen {
+		return corrupt(fmt.Sprintf("body is %d bytes, header declares %d", len(body), bodyLen))
+	}
+	if got := crc32.Checksum(body, castagnoli); got != wantCRC {
+		return corrupt(fmt.Sprintf("body CRC %08x, want %08x", got, wantCRC))
+	}
+
+	d := NewDec(body)
+	snap := NewSnapshot()
+	snap.Seq = d.U64()
+	nsect := d.U32()
+	for i := uint32(0); i < nsect; i++ {
+		name := d.Str()
+		payload := d.Blob()
+		if d.Err() != nil {
+			break
+		}
+		snap.sections[name] = payload
+	}
+	if err := d.Done(); err != nil {
+		// The CRC matched, so this is an encoder bug or a version skew,
+		// but the caller's recovery is the same: treat as corrupt.
+		return corrupt(err.Error())
+	}
+	return snap, nil
+}
+
+// Store manages a directory of rotating snapshot files.
+type Store struct {
+	// Dir is the checkpoint directory.
+	Dir string
+	// Keep is how many snapshots to retain (older ones are pruned after
+	// each Save). At least 2, so a torn newest file always leaves an
+	// intact predecessor.
+	Keep int
+}
+
+// Open returns a Store over dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("ckpt: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return &Store{Dir: dir, Keep: 2}, nil
+}
+
+// snapName renders the file name for a sequence number. The fixed-width
+// decimal keeps lexical order equal to numeric order.
+func snapName(seq uint64) string {
+	return fmt.Sprintf("snap-%020d.xyck", seq)
+}
+
+// snapshots lists the store's snapshot sequence numbers, ascending.
+func (st *Store) snapshots() ([]uint64, error) {
+	ents, err := os.ReadDir(st.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".xyck") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".xyck"), 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// Save assigns the snapshot the next sequence number, writes it
+// atomically (temp file, fsync, rename, fsync of the directory), prunes
+// snapshots beyond Keep, and returns the bytes written. A crash at any
+// point leaves either the previous set of intact snapshots or the new
+// one — never a half-written visible file.
+func (st *Store) Save(snap *Snapshot) (int64, error) {
+	seqs, err := st.snapshots()
+	if err != nil {
+		return 0, err
+	}
+	snap.Seq = 1
+	if n := len(seqs); n > 0 {
+		snap.Seq = seqs[n-1] + 1
+	}
+	raw := snap.Encode()
+	path := filepath.Join(st.Dir, snapName(snap.Seq))
+	if err := WriteFileAtomicBytes(path, raw); err != nil {
+		return 0, fmt.Errorf("ckpt: %w", err)
+	}
+	keep := st.Keep
+	if keep < 2 {
+		keep = 2
+	}
+	// Pruning is best-effort: a leftover stale snapshot costs disk, not
+	// correctness (Load prefers the newest intact file).
+	if len(seqs) >= keep {
+		for _, old := range seqs[:len(seqs)-(keep-1)] {
+			_ = os.Remove(filepath.Join(st.Dir, snapName(old)))
+		}
+	}
+	return int64(len(raw)), nil
+}
+
+// Load returns the newest intact snapshot. Corrupt or truncated files
+// (a crash mid-write on a filesystem without atomic rename, a torn
+// disk) are skipped in favour of the next-newest intact one. It returns
+// ErrNoCheckpoint when the store is empty, and the newest file's
+// *CorruptError when files exist but none decodes.
+func (st *Store) Load() (*Snapshot, error) {
+	seqs, err := st.snapshots()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		return nil, ErrNoCheckpoint
+	}
+	var firstErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		path := filepath.Join(st.Dir, snapName(seqs[i]))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("ckpt: %w", err)
+			}
+			continue
+		}
+		snap, err := DecodeSnapshot(path, raw)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return snap, nil
+	}
+	return nil, firstErr
+}

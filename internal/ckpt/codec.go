@@ -1,0 +1,171 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Enc appends fixed little-endian primitives to a growing buffer — the
+// writer half of the snapshot codec. The zero value is ready to use.
+// Float64s are written as raw IEEE-754 bits, so encode→decode is
+// bit-exact (NaN payloads included): the resume-determinism contract
+// rests on this.
+type Enc struct {
+	buf []byte
+}
+
+// Data returns the encoded bytes.
+func (e *Enc) Data() []byte { return e.buf }
+
+// U32 appends a uint32.
+func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a uint64.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends an int64 (two's complement).
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends a float64 as its raw bits.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Enc) Blob(b []byte) {
+	e.U64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// F64s appends a length-prefixed float64 slice.
+func (e *Enc) F64s(xs []float64) {
+	e.U32(uint32(len(xs)))
+	for _, x := range xs {
+		e.F64(x)
+	}
+}
+
+// Dec reads Enc's layout back with a sticky error: the first short read
+// poisons the decoder, every later read returns zero values, and Err
+// reports what happened. Callers can therefore decode a whole structure
+// linearly and check the error once. Length prefixes are validated
+// against the remaining bytes before any allocation, so a corrupt
+// length can neither over-allocate nor over-read.
+type Dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over b.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err returns the sticky decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Remaining returns how many bytes are left.
+func (d *Dec) Remaining() int { return len(d.b) - d.off }
+
+// fail records the first decode error.
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ckpt: decode at offset %d: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+// take returns the next n bytes, or nil after poisoning the decoder.
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > d.Remaining() {
+		d.fail("need %d bytes, have %d", n, d.Remaining())
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+// U32 reads a uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a float64 from its raw bits.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Blob reads a length-prefixed byte slice (a copy, safe to retain).
+func (d *Dec) Blob() []byte {
+	n := d.U64()
+	if d.err == nil && n > uint64(d.Remaining()) {
+		d.fail("blob of %d bytes, have %d", n, d.Remaining())
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// F64s reads a length-prefixed float64 slice.
+func (d *Dec) F64s() []float64 {
+	n := int(d.U32())
+	if d.err == nil && n*8 > d.Remaining() {
+		d.fail("f64 slice of %d entries, have %d bytes", n, d.Remaining())
+		return nil
+	}
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.F64()
+	}
+	return out
+}
+
+// Done verifies the decoder consumed its input exactly: no sticky error
+// and no trailing bytes.
+func (d *Dec) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if r := d.Remaining(); r != 0 {
+		return fmt.Errorf("ckpt: %d trailing bytes after decode", r)
+	}
+	return nil
+}

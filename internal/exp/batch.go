@@ -74,13 +74,55 @@ func (r *Runner) tempSweepBatchCtx(ctx context.Context, apps []workload.Profile)
 	for _, it := range items {
 		r.noteBatchSize(it.hi - it.lo)
 	}
+	ck, err := r.newSweepCkpt("tempsweep", apps)
+	if err != nil {
+		return TempSweep{}, err
+	}
 	results := make([][]TempPoint, len(apps)*len(fig7Schemes))
-	err := r.runIndexed(ctx, len(items), func(ctx context.Context, bi int) error {
+	storeItem := func(it schemeBatch, pts [][]TempPoint) {
+		for a := range pts {
+			results[(it.lo+a)*len(fig7Schemes)+it.kIdx] = pts[a]
+		}
+	}
+	quar := r.quarantinedSet()
+	pending := make([]int, 0, len(items))
+	for bi, it := range items {
+		if quar[bi] {
+			continue // condemned in an earlier incarnation: keep the gap
+		}
+		if raw, ok := ck.itemState(bi); ok {
+			rung, cols, _, err := decodeChainState(raw)
+			if err != nil {
+				return TempSweep{}, fmt.Errorf("exp: checkpoint item %d: %w", bi, err)
+			}
+			if rung >= len(r.Opts.Freqs) && len(cols) == it.hi-it.lo {
+				storeItem(it, cols)
+				continue
+			}
+		}
+		pending = append(pending, bi)
+	}
+	label := func(bi int) string {
+		it := items[bi]
+		return fmt.Sprintf("%s/%s..%s", it.k, apps[it.lo].Name, apps[it.hi-1].Name)
+	}
+	err = r.runPoints(ctx, pending, label, func(ctx context.Context, bi int) error {
 		it := items[bi]
 		batch := apps[it.lo:it.hi]
 		warms := make([]thermal.Temperature, len(batch))
 		pts := make([][]TempPoint, len(batch))
-		for _, f := range r.Opts.Freqs {
+		start := 0
+		if raw, ok := ck.itemState(bi); ok {
+			rung, cols, ws, err := decodeChainState(raw)
+			if err != nil {
+				return fmt.Errorf("exp: checkpoint item %d: %w", bi, err)
+			}
+			if len(cols) == len(batch) {
+				start, pts, warms = rung, cols, ws
+			}
+		}
+		for fi := start; fi < len(r.Opts.Freqs); fi++ {
+			f := r.Opts.Freqs[fi]
 			outs, err := r.Sys.EvaluateUniformBatchWarmCtx(ctx, it.k, batch, f, warms)
 			if err != nil {
 				return fmt.Errorf("exp: %s/%s..%s/%.1f: %w", it.k, batch[0].Name, batch[len(batch)-1].Name, f, err)
@@ -94,13 +136,17 @@ func (r *Runner) tempSweepBatchCtx(ctx context.Context, apps []workload.Profile)
 					ProcHotC: o.ProcHotC, DRAM0HotC: o.DRAM0HotC,
 				})
 			}
+			if err := ck.update(bi, encodeChainState(fi+1, pts, warms)); err != nil {
+				return err
+			}
 		}
-		for a := range batch {
-			results[(it.lo+a)*len(fig7Schemes)+it.kIdx] = pts[a]
-		}
+		storeItem(it, pts)
 		return nil
 	})
 	if err != nil {
+		return TempSweep{}, err
+	}
+	if err := ck.finish(); err != nil {
 		return TempSweep{}, err
 	}
 	var out TempSweep

@@ -34,9 +34,12 @@ import (
 	"math"
 	"runtime"
 	"strings"
+	"sync"
 
 	"github.com/xylem-sim/xylem/internal/core"
+	"github.com/xylem-sim/xylem/internal/fault"
 	"github.com/xylem-sim/xylem/internal/obs"
+	"github.com/xylem-sim/xylem/internal/perf"
 	"github.com/xylem-sim/xylem/internal/thermal"
 	"github.com/xylem-sim/xylem/internal/workload"
 )
@@ -86,6 +89,15 @@ type Options struct {
 	// any computation, so tables and CSVs are byte-identical with or
 	// without it (pinned by test and by `xylem obs-smoke`).
 	Obs *obs.Registry
+	// Checkpoint, when non-nil, makes the temperature sweeps crash-safe:
+	// progress persists to Checkpoint.Dir after every ladder rung (see
+	// checkpoint.go), and Checkpoint.Resume completes an interrupted run
+	// to byte-identical tables.
+	Checkpoint *CkptConfig
+	// Supervise, when non-nil, retries failed sweep points down a
+	// deterministic degradation ladder instead of failing the whole run
+	// on the first error (see supervise.go).
+	Supervise *SuperviseConfig
 }
 
 // workerCount resolves Workers to an effective pool size.
@@ -132,6 +144,11 @@ type Runner struct {
 	// obs holds the runner-level metric handles when Options.Obs is set
 	// (nil otherwise; see obs.go).
 	obs *runnerObs
+	// quarMu guards the supervisor's quarantine list and the work
+	// counters restored from checkpoints.
+	quarMu    sync.Mutex
+	quar      []*fault.QuarantinedPointError
+	ckptStats perf.Stats
 }
 
 // NewRunner builds a Runner.

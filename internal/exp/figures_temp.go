@@ -48,6 +48,12 @@ func (r *Runner) TempSweep() (TempSweep, error) {
 // warm-start from the previous frequency's field; chains are independent
 // and results land by index, so point order — and therefore every table
 // and CSV derived from the sweep — matches the serial run exactly.
+//
+// With Options.Checkpoint set, every completed rung updates the chain's
+// durable state (points so far + bit-exact warm field), and a resumed
+// run re-enters each interrupted chain at its first missing rung —
+// producing the same solves, and therefore byte-identical tables, as an
+// uninterrupted run.
 func (r *Runner) TempSweepCtx(ctx context.Context) (TempSweep, error) {
 	apps, err := r.apps()
 	if err != nil {
@@ -66,12 +72,46 @@ func (r *Runner) TempSweepCtx(ctx context.Context) (TempSweep, error) {
 			chains = append(chains, chain{app, k})
 		}
 	}
+	ck, err := r.newSweepCkpt("tempsweep", apps)
+	if err != nil {
+		return TempSweep{}, err
+	}
 	results := make([][]TempPoint, len(chains))
-	err = r.runIndexed(ctx, len(chains), func(ctx context.Context, i int) error {
+	quar := r.quarantinedSet()
+	pending := make([]int, 0, len(chains))
+	for i := range chains {
+		if quar[i] {
+			continue // condemned in an earlier incarnation: keep the gap
+		}
+		if raw, ok := ck.itemState(i); ok {
+			rung, cols, _, err := decodeChainState(raw)
+			if err != nil {
+				return TempSweep{}, fmt.Errorf("exp: checkpoint item %d: %w", i, err)
+			}
+			if rung >= len(r.Opts.Freqs) && len(cols) == 1 {
+				results[i] = cols[0]
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	label := func(i int) string { return chains[i].app.Name + "/" + chains[i].k.String() }
+	err = r.runPoints(ctx, pending, label, func(ctx context.Context, i int) error {
 		c := chains[i]
+		start := 0
 		var warm thermal.Temperature
 		pts := make([]TempPoint, 0, len(r.Opts.Freqs))
-		for _, f := range r.Opts.Freqs {
+		if raw, ok := ck.itemState(i); ok {
+			rung, cols, warms, err := decodeChainState(raw)
+			if err != nil {
+				return fmt.Errorf("exp: checkpoint item %d: %w", i, err)
+			}
+			if len(cols) == 1 {
+				start, pts, warm = rung, cols[0], warms[0]
+			}
+		}
+		for fi := start; fi < len(r.Opts.Freqs); fi++ {
+			f := r.Opts.Freqs[fi]
 			o, err := r.Sys.EvaluateUniformWarmCtx(ctx, c.k, c.app, f, warm)
 			if err != nil {
 				return fmt.Errorf("exp: %s/%s/%.1f: %w", c.app.Name, c.k, f, err)
@@ -83,11 +123,17 @@ func (r *Runner) TempSweepCtx(ctx context.Context) (TempSweep, error) {
 				App: c.app.Name, Scheme: c.k, GHz: f,
 				ProcHotC: o.ProcHotC, DRAM0HotC: o.DRAM0HotC,
 			})
+			if err := ck.update(i, encodeChainState(fi+1, [][]TempPoint{pts}, []thermal.Temperature{warm})); err != nil {
+				return err
+			}
 		}
 		results[i] = pts
 		return nil
 	})
 	if err != nil {
+		return TempSweep{}, err
+	}
+	if err := ck.finish(); err != nil {
 		return TempSweep{}, err
 	}
 	var out TempSweep

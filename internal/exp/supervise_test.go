@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/xylem-sim/xylem/internal/fault"
+	"github.com/xylem-sim/xylem/internal/perf"
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+// newBareRunner builds a Runner without touching the (expensive) core
+// system — enough for exercising the supervisor's pure wrapping logic.
+func newBareRunner(t *testing.T, s *SuperviseConfig) *Runner {
+	t.Helper()
+	o := QuickOptions()
+	o.Workers = 1
+	o.Supervise = s
+	r, err := NewRunner(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	s := &SuperviseConfig{Seed: 7, BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond}
+	for point := 0; point < 4; point++ {
+		for attempt := 1; attempt <= 6; attempt++ {
+			d := s.backoff(point, attempt)
+			if d != s.backoff(point, attempt) {
+				t.Fatalf("backoff(%d,%d) not deterministic", point, attempt)
+			}
+			// Capped: never beyond BackoffMax (jitter only shrinks).
+			if d > 80*time.Millisecond {
+				t.Fatalf("backoff(%d,%d) = %v beyond cap", point, attempt, d)
+			}
+			// Jitter keeps at least half the nominal wait.
+			if attempt == 1 && d < 5*time.Millisecond {
+				t.Fatalf("backoff(%d,1) = %v below jitter floor", point, d)
+			}
+		}
+	}
+	// Different seeds and points give different jitter.
+	s2 := &SuperviseConfig{Seed: 8, BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond}
+	if s.backoff(0, 1) == s2.backoff(0, 1) && s.backoff(1, 1) == s2.backoff(1, 1) {
+		t.Error("backoff ignores the seed")
+	}
+}
+
+func TestDegradeLadderShape(t *testing.T) {
+	s := &SuperviseConfig{}
+	if d := s.degradeFor(0); d != (perf.Degrade{}) {
+		t.Errorf("attempt 0 degrade = %+v, want none", d)
+	}
+	d1 := s.degradeFor(1)
+	if d1.RelaxTol != 100 || d1.Precond != thermal.PrecondAuto {
+		t.Errorf("attempt 1 degrade = %+v, want relaxed tolerance only", d1)
+	}
+	d2 := s.degradeFor(2)
+	if d2.RelaxTol != 100 || d2.Precond != thermal.PrecondJacobi {
+		t.Errorf("attempt 2 degrade = %+v, want relaxed + Jacobi", d2)
+	}
+}
+
+// The ladder in action: a point that fails twice with a retryable error
+// must be retried with escalating degrade directives, deterministic
+// backoffs, and succeed on the third attempt.
+func TestSupervisorRetriesDownLadder(t *testing.T) {
+	var sleeps []time.Duration
+	s := &SuperviseConfig{
+		Seed: 3, BackoffBase: time.Millisecond, BackoffMax: 8 * time.Millisecond,
+		sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+	}
+	r := newBareRunner(t, s)
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	var degrades []perf.Degrade
+	fn := func(ctx context.Context, i int) error {
+		mu.Lock()
+		attempts[i]++
+		n := attempts[i]
+		if d, ok := perf.DegradeFrom(ctx); ok {
+			degrades = append(degrades, d)
+		}
+		mu.Unlock()
+		if i == 2 && n <= 2 {
+			return &fault.DivergenceError{Iters: 5, Residual: 2, Best: 1, Tol: 1e-8}
+		}
+		return nil
+	}
+	if err := r.runIndexed(context.Background(), 4, fn); err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	if attempts[2] != 3 {
+		t.Errorf("point 2 attempted %d times, want 3", attempts[2])
+	}
+	for _, i := range []int{0, 1, 3} {
+		if attempts[i] != 1 {
+			t.Errorf("healthy point %d attempted %d times, want 1", i, attempts[i])
+		}
+	}
+	if len(degrades) != 2 || degrades[0].Precond != thermal.PrecondAuto || degrades[1].Precond != thermal.PrecondJacobi {
+		t.Errorf("degrade ladder = %+v, want relax then Jacobi", degrades)
+	}
+	want := []time.Duration{s.backoff(2, 1), s.backoff(2, 2)}
+	if len(sleeps) != 2 || sleeps[0] != want[0] || sleeps[1] != want[1] {
+		t.Errorf("backoff schedule = %v, want %v", sleeps, want)
+	}
+	if len(r.Quarantined()) != 0 {
+		t.Errorf("quarantine list = %v, want empty", r.Quarantined())
+	}
+}
+
+// A point that exhausts the ladder fails the sweep with a typed
+// QuarantinedPointError by default, or is skipped with Quarantine set.
+func TestSupervisorQuarantine(t *testing.T) {
+	alwaysFail := func(ctx context.Context, i int) error {
+		if i == 1 {
+			return &fault.BudgetError{Iters: 9, MaxIters: 9, Residual: 1, Tol: 1e-8}
+		}
+		return nil
+	}
+	noSleep := func(time.Duration) {}
+
+	// Default: first error wins, typed.
+	r := newBareRunner(t, &SuperviseConfig{sleep: noSleep})
+	err := r.runIndexed(context.Background(), 3, alwaysFail)
+	if !errors.Is(err, fault.ErrQuarantined) || !errors.Is(err, fault.ErrBudget) {
+		t.Fatalf("err = %v, want QuarantinedPointError wrapping the budget failure", err)
+	}
+	var qe *fault.QuarantinedPointError
+	if !errors.As(err, &qe) || qe.Point != 1 || qe.Attempts != 3 {
+		t.Fatalf("err = %+v, want point 1 after 3 attempts", qe)
+	}
+
+	// Opt-in: the sweep completes with a gap.
+	r = newBareRunner(t, &SuperviseConfig{Quarantine: true, sleep: noSleep})
+	if err := r.runIndexed(context.Background(), 3, alwaysFail); err != nil {
+		t.Fatalf("quarantine mode failed the sweep: %v", err)
+	}
+	quar := r.Quarantined()
+	if len(quar) != 1 || quar[0].Point != 1 || quar[0].Attempts != 3 {
+		t.Fatalf("quarantine list = %+v, want point 1 after 3 attempts", quar)
+	}
+	if err := r.QuarantineError(); !errors.Is(err, fault.ErrQuarantined) {
+		t.Fatalf("QuarantineError = %v", err)
+	}
+}
+
+// Non-retryable failures must propagate on the first attempt.
+func TestSupervisorNonRetryablePassthrough(t *testing.T) {
+	calls := 0
+	r := newBareRunner(t, &SuperviseConfig{Quarantine: true, sleep: func(time.Duration) {}})
+	bad := &fault.BadPowerError{Layer: 1, Cell: 2, Value: -1}
+	err := r.runIndexed(context.Background(), 1, func(ctx context.Context, i int) error {
+		calls++
+		return bad
+	})
+	if !errors.Is(err, fault.ErrBadPower) {
+		t.Fatalf("err = %v, want the bad-power failure", err)
+	}
+	if calls != 1 {
+		t.Fatalf("non-retryable point attempted %d times, want 1", calls)
+	}
+	if len(r.Quarantined()) != 0 {
+		t.Fatal("non-retryable failure landed in quarantine")
+	}
+}
+
+// End to end: a stack whose solver persistently diverges must leave "-"
+// gaps in the temperature table under quarantine instead of failing the
+// whole figure.
+func TestSweepQuarantineLeavesTableGaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick sweep")
+	}
+	o := QuickOptions()
+	o.Apps = []string{"lu-nas", "fft"}
+	o.GridRows, o.GridCols = 12, 12
+	o.Instructions = 40_000
+	o.Workers = 1
+	o.Supervise = &SuperviseConfig{Quarantine: true, sleep: func(time.Duration) {}}
+	r, err := NewRunner(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Condemn every solve on the prior-scheme stack.
+	solver, err := r.Sys.Ev.SolverFor(r.Sys.Stack(stack.Prior))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver.Hook = func() (int, error) {
+		return 0, &fault.DivergenceError{Injected: true, Detail: "forced"}
+	}
+	_, table, err := r.Figure7()
+	if err != nil {
+		t.Fatalf("quarantined sweep failed: %v", err)
+	}
+	quar := r.Quarantined()
+	if len(quar) != 2 { // one chain per app on the prior scheme
+		t.Fatalf("quarantined %d points, want 2: %v", len(quar), quar)
+	}
+	for _, q := range quar {
+		if !strings.Contains(q.Label, "prior") {
+			t.Errorf("quarantined label %q, want a prior chain", q.Label)
+		}
+	}
+	s := table.String()
+	if !strings.Contains(s, "-") {
+		t.Errorf("table has no gaps:\n%s", s)
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "prior") && !strings.Contains(line, "-") {
+			t.Errorf("prior row has no gap: %q", line)
+		}
+	}
+}

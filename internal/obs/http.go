@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"time"
@@ -37,25 +38,75 @@ type Server struct {
 	// when Serve was asked for port 0.
 	Addr string
 
-	srv *http.Server
-	ln  net.Listener
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
 }
 
 // Serve starts an HTTP listener on addr exposing the registry's Handler
 // and returns once the listener is bound (requests are served on a
 // background goroutine). Close the returned server to stop it. This is
 // the `-metrics-addr` sink: opt-in, and entirely outside the solve path.
+//
+// The server is hardened against stuck peers: slow-header, slow-read
+// and slow-write connections are all cut off rather than pinning a
+// goroutine for the life of the process (a long sweep's metrics port is
+// exposed for hours).
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeCtx(context.Background(), addr, r)
+}
+
+// ServeCtx is Serve bound to a context: when ctx is cancelled the
+// server shuts down gracefully — in-flight scrapes finish (up to a
+// short drain deadline), new connections are refused. A background ctx
+// behaves exactly like Serve.
+func ServeCtx(ctx context.Context, addr string, r *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+	srv := &http.Server{
+		Handler:           r.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	s := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		_ = srv.Serve(ln)
+	}()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = s.Shutdown()
+			case <-s.done:
+			}
+		}()
+	}
+	return s, nil
 }
 
-// Close stops the listener.
+// Shutdown stops the server gracefully: the listener closes at once,
+// in-flight responses get a drain window, stragglers are cut off.
+func (s *Server) Shutdown() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// The drain window expired: fall back to the hard close.
+		_ = s.srv.Close()
+	}
+	<-s.done
+	return err
+}
+
+// Close stops the listener immediately (in-flight requests are cut).
 func (s *Server) Close() error {
 	if s == nil || s.srv == nil {
 		return nil

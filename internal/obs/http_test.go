@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// ServeCtx must shut the server down when its context is cancelled:
+// the port closes, and the server goroutine exits instead of leaking.
+func TestServeCtxShutdownOnCancel(t *testing.T) {
+	r := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := ServeCtx(ctx, "127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET before cancel: %v", err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case <-srv.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server goroutine did not exit after context cancellation")
+	}
+	if _, err := net.DialTimeout("tcp", srv.Addr, time.Second); err == nil {
+		t.Fatal("port still accepting connections after shutdown")
+	}
+}
+
+// Shutdown must be graceful for idle servers and idempotent-ish with
+// Close; and the configured timeouts must actually be set, so a stuck
+// peer cannot pin a connection for the process's lifetime.
+func TestServerHardeningTimeouts(t *testing.T) {
+	r := New()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.srv
+	if h.ReadHeaderTimeout <= 0 || h.ReadTimeout <= 0 || h.WriteTimeout <= 0 || h.IdleTimeout <= 0 {
+		t.Errorf("missing timeout(s): header=%v read=%v write=%v idle=%v",
+			h.ReadHeaderTimeout, h.ReadTimeout, h.WriteTimeout, h.IdleTimeout)
+	}
+	// A stuck peer must not block shutdown forever: connections still
+	// open at the drain deadline are hard-closed. (Opening the raw conn
+	// and closing it again keeps the test fast while exercising the
+	// conn-tracking path.)
+	conn, err := net.Dial("tcp", srv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+	// A nil server must be a no-op for both.
+	var nilSrv *Server
+	if err := nilSrv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nilSrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

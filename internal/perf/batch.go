@@ -138,8 +138,11 @@ func (e *Evaluator) ThermalBatchCtx(ctx context.Context, st *stack.Stack, pts []
 			outs[i].DRAMPowerW = power.TotalDRAM(sliceP)
 		}
 
+		deg := degradeFrom(ctx)
 		sl.mu.Lock()
-		bres, err := sl.s.SteadyStateBatch(ctx, pms, thermal.BatchOpts{Warm: warms})
+		bres, err := sl.s.SteadyStateBatch(ctx, pms, thermal.BatchOpts{
+			Warm: warms, Tol: deg.tol(sl.s.Tol), Precond: deg.Precond,
+		})
 		e.noteBatch(bres, len(active))
 		sl.mu.Unlock()
 		if err != nil {

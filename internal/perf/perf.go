@@ -272,6 +272,27 @@ func (s Stats) Sub(prev Stats) Stats {
 	return d
 }
 
+// Add returns the counter sums — the inverse of Sub, used by the resume
+// path to combine a checkpointed run's stats with the stats of the
+// process that finished it.
+func (s Stats) Add(o Stats) Stats {
+	t := Stats{
+		ActivityRuns:    s.ActivityRuns + o.ActivityRuns,
+		Solves:          s.Solves + o.Solves,
+		SolveIters:      s.SolveIters + o.SolveIters,
+		VCycles:         s.VCycles + o.VCycles,
+		DegradedSolves:  s.DegradedSolves + o.DegradedSolves,
+		BatchedSolves:   s.BatchedSolves + o.BatchedSolves,
+		BatchedColumns:  s.BatchedColumns + o.BatchedColumns,
+		DeflatedColumns: s.DeflatedColumns + o.DeflatedColumns,
+	}
+	for k := range t.IterHist {
+		t.IterHist[k] = s.IterHist[k] + o.IterHist[k]
+		t.BatchOcc[k] = s.BatchOcc[k] + o.BatchOcc[k]
+	}
+	return t
+}
+
 // UniformAssignments places n threads of app on cores 0..n-1 with the
 // standard measurement budget and warm-up.
 func UniformAssignments(app workload.Profile, n int) []cpusim.Assignment {
@@ -465,9 +486,12 @@ func retryableSolveErr(err error) bool {
 // with a nearby field. The slot's lock serialises solves on the shared
 // solver.
 func (e *Evaluator) steadyState(ctx context.Context, sl *solverSlot, pm thermal.PowerMap, warm thermal.Temperature) (thermal.Temperature, error) {
+	deg := degradeFrom(ctx)
 	sl.mu.Lock()
 	solver := sl.s
-	t, err := solver.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Warm: warm})
+	t, err := solver.SteadyStateOpts(ctx, pm, thermal.SolveOpts{
+		Warm: warm, Tol: deg.tol(solver.Tol), Precond: deg.Precond,
+	})
 	e.noteSolve(solver)
 	sl.mu.Unlock()
 	if err == nil {
@@ -494,12 +518,17 @@ func (e *Evaluator) retryRelaxed(ctx context.Context, sl *solverSlot, pm thermal
 	if relax <= 1 {
 		relax = 100
 	}
+	deg := degradeFrom(ctx)
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
 	solver := sl.s
+	baseTol := solver.Tol
+	if t := deg.tol(baseTol); t > 0 {
+		baseTol = t
+	}
 	for r := 1; r <= e.SolveRetries; r++ {
-		tol := solver.Tol * math.Pow(relax, float64(r))
-		t, retryErr := solver.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Tol: tol, Warm: warm})
+		tol := baseTol * math.Pow(relax, float64(r))
+		t, retryErr := solver.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Tol: tol, Warm: warm, Precond: deg.Precond})
 		e.noteSolve(solver)
 		if retryErr == nil {
 			e.statsMu.Lock()

@@ -44,6 +44,17 @@ var schemeNames = map[SchemeKind]string{
 // String returns the scheme name used throughout the evaluation.
 func (k SchemeKind) String() string { return schemeNames[k] }
 
+// ParseScheme inverts String. Checkpoints store schemes by name, so the
+// on-disk format is independent of the enum's numeric values.
+func ParseScheme(name string) (SchemeKind, bool) {
+	for k, n := range schemeNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // AllSchemes lists every scheme in the paper's presentation order.
 var AllSchemes = []SchemeKind{Base, Bank, BankE, IsoCount, Prior}
 

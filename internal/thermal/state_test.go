@@ -1,0 +1,57 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/ckpt"
+)
+
+func TestTemperatureCodecRoundTrip(t *testing.T) {
+	field := Temperature{
+		{300.15, 301.2345678901234, math.Nextafter(310, 311)},
+		{45.0, math.Copysign(0, -1), 1e-17},
+	}
+	var e ckpt.Enc
+	EncodeTemperature(&e, field)
+	back, err := DecodeTemperature(ckpt.NewDec(e.Data()), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := range field {
+		for c := range field[li] {
+			if math.Float64bits(back[li][c]) != math.Float64bits(field[li][c]) {
+				t.Fatalf("layer %d cell %d: %016x != %016x", li, c,
+					math.Float64bits(back[li][c]), math.Float64bits(field[li][c]))
+			}
+		}
+	}
+}
+
+func TestTemperatureCodecNil(t *testing.T) {
+	var e ckpt.Enc
+	EncodeTemperature(&e, nil)
+	back, err := DecodeTemperature(ckpt.NewDec(e.Data()), 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != nil {
+		t.Fatalf("nil field decoded to %v", back)
+	}
+}
+
+func TestTemperatureCodecShapeMismatch(t *testing.T) {
+	field := Temperature{{1, 2}, {3, 4}}
+	var e ckpt.Enc
+	EncodeTemperature(&e, field)
+	if _, err := DecodeTemperature(ckpt.NewDec(e.Data()), 3, 2); err == nil {
+		t.Fatal("wrong layer count accepted")
+	}
+	if _, err := DecodeTemperature(ckpt.NewDec(e.Data()), 2, 5); err == nil {
+		t.Fatal("wrong cell count accepted")
+	}
+	// Truncated payload must error, not panic.
+	if _, err := DecodeTemperature(ckpt.NewDec(e.Data()[:5]), 2, 2); err == nil {
+		t.Fatal("truncated field accepted")
+	}
+}
