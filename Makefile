@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke obs-smoke resume-smoke profile figures faults-smoke examples clean
+.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke greens-smoke obs-smoke resume-smoke profile figures faults-smoke examples clean
 
 all: build vet test
 
@@ -55,6 +55,14 @@ mg-smoke:
 # are byte-identical to the per-point tables at every worker count.
 batch-smoke:
 	$(GO) run ./cmd/xylem parbench -check -batch 4 -grid 16 -apps lu-nas,fft,is -instr 60000 -freqs 2.4,3.5 -o /tmp/bench_batch_smoke.json
+
+# CI gate for the Green's-function fast path: parbench at bench scale
+# (24x24 grid) builds the per-scheme bases, runs the Figure 7 sweep both
+# reduced and full, and -check fails unless the fast-path tables match
+# the MG tables at print precision and the per-query wall is at least 5x
+# below MG's (the basis precompute is amortised and reported separately).
+greens-smoke:
+	$(GO) run ./cmd/xylem parbench -check -grid 24 -apps lu-nas,fft -instr 60000 -freqs 2.4,3.5 -o /tmp/bench_greens_smoke.json
 
 # CI gate for the observability layer: run a small figure bare and with
 # a live metrics endpoint (served in-process on 127.0.0.1:0, scraped

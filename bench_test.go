@@ -26,6 +26,7 @@ import (
 	"github.com/xylem-sim/xylem/internal/exp"
 	"github.com/xylem-sim/xylem/internal/floorplan"
 	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/perf"
 	"github.com/xylem-sim/xylem/internal/stack"
 	"github.com/xylem-sim/xylem/internal/thermal"
 	"github.com/xylem-sim/xylem/internal/workload"
@@ -398,6 +399,58 @@ func BenchmarkThermalSteadyStateBatch(b *testing.B) {
 						if err != nil {
 							b.Fatal(err)
 						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGreensApply prices one reduced-order steady-state serve — the
+// fused GEMV T = T_amb + G·p over the per-block Green's basis — against
+// the full CG solve it replaces (BenchmarkThermalSteadyState at the same
+// grid). The workers sub-benchmarks pin the determinism contract's cost:
+// the chunked kernel must scale without changing a single bit of the
+// result (see internal/thermal/greens_test.go), so any speedup here is
+// free. The basis precompute is excluded; it is priced once by `xylem
+// parbench` as the greens config's basis_build_s.
+func BenchmarkGreensApply(b *testing.B) {
+	grids := []int{24, 64}
+	if testing.Short() {
+		grids = []int{24}
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, n := range grids {
+		cfg := stack.DefaultConfig()
+		cfg.GridRows, cfg.GridCols = n, n
+		st, err := stack.Build(cfg, stack.BankE)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev := perf.NewEvaluator()
+		gb, err := ev.GreensBasisFor(context.Background(), st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		solver, err := thermal.NewSolver(st.Model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer solver.Close()
+		p := make([]float64, gb.B)
+		for i := range p {
+			p[i] = 0.5 + 0.25*float64(i%4)
+		}
+		x := make([]float64, gb.Cells())
+		for _, workers := range workerCounts {
+			b.Run(fmt.Sprintf("grid%d/workers%d", n, workers), func(b *testing.B) {
+				solver.Workers = workers
+				for i := 0; i < b.N; i++ {
+					if err := solver.GreensApply(gb, p, x); err != nil {
+						b.Fatal(err)
 					}
 				}
 			})

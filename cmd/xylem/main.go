@@ -101,12 +101,15 @@ Prometheus/JSON metrics and a trace dump while they run; 'xylem trace
 
 Sweep commands accept -checkpoint DIR to persist crash-safe progress
 snapshots, -resume to continue from them, and -retries/-quarantine to
-retry failing points down a degradation ladder.`)
+retry failing points down a degradation ladder. -fastpath on|oracle
+serves steady-state thermal queries from a precomputed Green's-function
+basis (oracle runs both paths and fails on disagreement).`)
 }
 
 // cliOpts holds the shared experiment flags registered by optFlags.
 type cliOpts struct {
 	apps, freqs, precond        *string
+	fastpath                    *string
 	grid, instr, workers, batch *int
 	cpuprofile, memprofile      *string
 	metricsAddr                 *string
@@ -128,6 +131,7 @@ func optFlags(fs *flag.FlagSet) *cliOpts {
 		batch:       fs.Int("batch", 0, "multi-RHS thermal batch width (0 or 1 = per-point solves)"),
 		freqs:       fs.String("freqs", "2.4,2.8,3.2,3.5", "frequencies for temperature sweeps (GHz)"),
 		precond:     fs.String("precond", "", "CG preconditioner: auto (multigrid), mg, or jacobi"),
+		fastpath:    fs.String("fastpath", "", "Green's-function reduced-order serving: off, on, or oracle"),
 		cpuprofile:  fs.String("cpuprofile", "", "write a CPU profile to this path"),
 		memprofile:  fs.String("memprofile", "", "write a heap profile to this path at exit"),
 		metricsAddr: fs.String("metrics-addr", "", "serve Prometheus/JSON metrics and a trace dump on this address (empty = off)"),
@@ -160,6 +164,7 @@ func (c *cliOpts) options() (exp.Options, error) {
 	o.Workers = *c.workers
 	o.BatchWidth = *c.batch
 	o.Precond = *c.precond
+	o.FastPath = *c.fastpath
 	if *c.freqs != "" {
 		o.Freqs = nil
 		for _, s := range strings.Split(*c.freqs, ",") {
@@ -278,6 +283,10 @@ func runFigure(r *exp.Runner, id string) error {
 	if d.BatchedSolves > 0 {
 		fmt.Printf("batched solves: %d calls over %d columns, %d deflated early; occupancy %s\n",
 			d.BatchedSolves, d.BatchedColumns, d.DeflatedColumns, d.BatchOcc)
+	}
+	if d.GreensHits > 0 || d.GreensMisses > 0 || d.BasisBuilds > 0 {
+		fmt.Printf("greens fast path: %d hits, %d CG fallbacks, %d basis builds\n",
+			d.GreensHits, d.GreensMisses, d.BasisBuilds)
 	}
 	if quar := r.Quarantined(); len(quar) > 0 {
 		fmt.Printf("quarantined %d point(s) — their table cells are gaps:\n", len(quar))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 
 	"github.com/xylem-sim/xylem/internal/ckpt"
 	"github.com/xylem-sim/xylem/internal/exp"
+	"github.com/xylem-sim/xylem/internal/stack"
 )
 
 // parbenchConfig is one timed Figure 7 sweep in the comparison matrix.
@@ -31,6 +33,17 @@ type parbenchConfig struct {
 	BatchedSolves   int    `json:"batched_solves,omitempty"`
 	DeflatedColumns int64  `json:"deflated_columns,omitempty"`
 	BatchOcc        string `json:"batch_occupancy,omitempty"`
+	// Green's fast-path accounting (zero for full-solve configs):
+	// reduced-model queries served, CG fallbacks, bases built, the wall
+	// spent on the basis precompute (reported separately — it is excluded
+	// from WallS, which times only the sweep), and the mean per-query
+	// wall. One "query" is one steady-state serve: a reduced fixed-point
+	// iteration on the fast path, one CG solve otherwise.
+	GreensHits   int     `json:"greens_hits,omitempty"`
+	GreensMisses int     `json:"greens_misses,omitempty"`
+	BasisBuilds  int     `json:"basis_builds,omitempty"`
+	BasisBuildS  float64 `json:"basis_build_s,omitempty"`
+	PerQueryMs   float64 `json:"per_query_ms,omitempty"`
 }
 
 // parbenchReport is the JSON summary written by `xylem parbench`: the
@@ -77,9 +90,19 @@ type parbenchReport struct {
 	TablesByteIdenticalWorkers      bool `json:"tables_byte_identical_workers"`
 	TablesMatchBatch                bool `json:"tables_match_batch"`
 	TablesByteIdenticalBatchWorkers bool `json:"tables_byte_identical_batch_workers"`
+
+	// The Green's fast-path comparison: per-query wall for the reduced
+	// model vs the warm serial MG sweep (the basis precompute is amortised
+	// and reported separately in the config's BasisBuildS), and whether
+	// the reduced sweep rendered the same tables as MG at print precision.
+	PerQueryMsMG      float64 `json:"per_query_ms_mg"`
+	PerQueryMsGreens  float64 `json:"per_query_ms_greens"`
+	GreensBasisBuildS float64 `json:"greens_basis_build_s"`
+	SpeedupGreens     float64 `json:"speedup_greens"`
+	TablesMatchGreens bool    `json:"tables_match_greens"`
 }
 
-// cmdParbench times the Figure 7 temperature sweep under five engine
+// cmdParbench times the Figure 7 temperature sweep under six engine
 // configurations, each on a fresh Runner (no solver state carries over):
 //
 //  1. jacobi:            Workers=1, warm-started, Jacobi-preconditioned CG
@@ -87,8 +110,11 @@ type parbenchReport struct {
 //  3. mg-parallel:       Workers=N, warm-started, multigrid
 //  4. mg-batch:          Workers=1, multigrid, batched multi-RHS solves
 //  5. mg-batch-parallel: Workers=N, multigrid, batched multi-RHS solves
+//  6. greens:            Workers=1, Green's-function reduced-order serving
+//                        (basis precompute paid before the timer starts
+//                        and reported separately)
 //
-// Workload activity (the cpusim traces) is identical across all five —
+// Workload activity (the cpusim traces) is identical across all six —
 // it depends on the simulated architecture, never on the solver — so an
 // untimed warm-up pass populates one shared activity cache first and
 // every timed run draws from it. The walls therefore price exactly what
@@ -141,16 +167,34 @@ func cmdParbench(args []string) error {
 		return fmt.Errorf("warm-up run: %w", err)
 	}
 
-	run := func(name, precond string, workers, batch int) (parbenchConfig, string, error) {
+	run := func(name, precond string, workers, batch int, fastpath string) (parbenchConfig, string, error) {
 		oo := o
 		oo.Workers = workers
 		oo.Precond = precond
 		oo.BatchWidth = batch
+		oo.FastPath = fastpath
 		r, err := exp.NewRunner(oo)
 		if err != nil {
 			return parbenchConfig{}, "", err
 		}
 		r.Sys.Ev.ShareActivityCache(warm.Sys.Ev)
+		// Fast-path configs pay their basis precompute up front, outside
+		// the timed sweep — that is the amortisation the fast path sells —
+		// and the precompute wall is reported separately.
+		var basisWall time.Duration
+		if fastpath != "" {
+			bs := time.Now()
+			for _, kind := range stack.AllSchemes {
+				st := r.Sys.Stack(kind)
+				if st == nil {
+					continue
+				}
+				if _, err := r.Sys.Ev.GreensBasisFor(context.Background(), st); err != nil {
+					return parbenchConfig{}, "", fmt.Errorf("basis build for %v: %w", kind, err)
+				}
+			}
+			basisWall = time.Since(bs)
+		}
 		start := time.Now()
 		_, tab, err := r.Figure7()
 		if err != nil {
@@ -164,9 +208,16 @@ func cmdParbench(args []string) error {
 			VCycles: st.VCycles, Degraded: st.DegradedSolves,
 			IterHist:      st.IterHist.String(),
 			BatchedSolves: st.BatchedSolves, DeflatedColumns: st.DeflatedColumns,
+			GreensHits:    st.GreensHits, GreensMisses: st.GreensMisses,
+			BasisBuilds: st.BasisBuilds, BasisBuildS: basisWall.Seconds(),
 		}
 		if st.BatchedSolves > 0 {
 			cfg.BatchOcc = st.BatchOcc.String()
+		}
+		if st.GreensHits > 0 {
+			cfg.PerQueryMs = wall.Seconds() * 1000 / float64(st.GreensHits)
+		} else if st.Solves > 0 {
+			cfg.PerQueryMs = wall.Seconds() * 1000 / float64(st.Solves)
 		}
 		return cfg, tab.String(), nil
 	}
@@ -179,31 +230,38 @@ func cmdParbench(args []string) error {
 			c.Name, c.WallS, c.CGIters, c.VCycles, c.IterHist)
 	}
 
-	jac, jacTab, err := run("jacobi", "jacobi", 1, 0)
+	jac, jacTab, err := run("jacobi", "jacobi", 1, 0, "")
 	if err != nil {
 		return fmt.Errorf("jacobi run: %w", err)
 	}
 	show(jac)
-	mg, mgTab, err := run("mg", "mg", 1, 0)
+	mg, mgTab, err := run("mg", "mg", 1, 0, "")
 	if err != nil {
 		return fmt.Errorf("mg run: %w", err)
 	}
 	show(mg)
-	mgPar, mgParTab, err := run("mg-parallel", "mg", par, 0)
+	mgPar, mgParTab, err := run("mg-parallel", "mg", par, 0, "")
 	if err != nil {
 		return fmt.Errorf("mg parallel run: %w", err)
 	}
 	show(mgPar)
-	mgBatch, mgBatchTab, err := run("mg-batch", "mg", 1, width)
+	mgBatch, mgBatchTab, err := run("mg-batch", "mg", 1, width, "")
 	if err != nil {
 		return fmt.Errorf("mg batch run: %w", err)
 	}
 	show(mgBatch)
-	mgBatchPar, mgBatchParTab, err := run("mg-batch-parallel", "mg", par, width)
+	mgBatchPar, mgBatchParTab, err := run("mg-batch-parallel", "mg", par, width, "")
 	if err != nil {
 		return fmt.Errorf("mg batch parallel run: %w", err)
 	}
 	show(mgBatchPar)
+	greens, greensTab, err := run("greens", "", 1, 0, "on")
+	if err != nil {
+		return fmt.Errorf("greens run: %w", err)
+	}
+	show(greens)
+	fmt.Printf("  %-17s basis precompute %.2fs (%d builds), %d reduced queries at %.3f ms/query, %d CG fallbacks\n",
+		"", greens.BasisBuildS, greens.BasisBuilds, greens.GreensHits, greens.PerQueryMs, greens.GreensMisses)
 
 	rep := parbenchReport{
 		Grid:       o.GridRows,
@@ -211,7 +269,7 @@ func cmdParbench(args []string) error {
 		FreqsGHz:   o.Freqs,
 		Workers:    par,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Configs:    []parbenchConfig{jac, mg, mgPar, mgBatch, mgBatchPar},
+		Configs:    []parbenchConfig{jac, mg, mgPar, mgBatch, mgBatchPar, greens},
 
 		CGItersJacobi:   jac.CGIters,
 		CGItersMG:       mg.CGIters,
@@ -225,9 +283,17 @@ func cmdParbench(args []string) error {
 		TablesByteIdenticalWorkers:      mgTab == mgParTab,
 		TablesMatchBatch:                mgTab == mgBatchTab,
 		TablesByteIdenticalBatchWorkers: mgBatchTab == mgBatchParTab,
+
+		PerQueryMsMG:      mg.PerQueryMs,
+		PerQueryMsGreens:  greens.PerQueryMs,
+		GreensBasisBuildS: greens.BasisBuildS,
+		TablesMatchGreens: greensTab == mgTab,
 	}
 	if mg.CGIters > 0 {
 		rep.MGIterReduction = float64(jac.CGIters) / float64(mg.CGIters)
+	}
+	if greens.PerQueryMs > 0 {
+		rep.SpeedupGreens = mg.PerQueryMs / greens.PerQueryMs
 	}
 
 	fmt.Printf("  multigrid: %.1fx fewer CG iterations, %.2fx faster serial; parallel %.2fx on top; batched %.2fx at width %d\n",
@@ -251,6 +317,13 @@ func cmdParbench(args []string) error {
 		fmt.Println("  tables byte-identical batched serial vs batched parallel")
 	} else {
 		fmt.Println("  WARNING: batched parallel tables are NOT byte-identical to batched serial")
+	}
+	fmt.Printf("  greens fast path: %.3f ms/query vs MG's %.3f ms/query (%.1fx)\n",
+		rep.PerQueryMsGreens, rep.PerQueryMsMG, rep.SpeedupGreens)
+	if rep.TablesMatchGreens {
+		fmt.Println("  tables match greens fast path at print precision")
+	} else {
+		fmt.Println("  WARNING: greens fast-path tables do NOT match the MG tables")
 	}
 
 	err = ckpt.WriteFileAtomic(*out, func(w io.Writer) error {
@@ -279,6 +352,13 @@ func cmdParbench(args []string) error {
 		}
 		if !rep.TablesByteIdenticalBatchWorkers {
 			return fmt.Errorf("check failed: batched parallel tables not byte-identical to batched serial")
+		}
+		if !rep.TablesMatchGreens {
+			return fmt.Errorf("check failed: greens fast-path tables do not match MG tables")
+		}
+		if rep.SpeedupGreens < 5 {
+			return fmt.Errorf("check failed: greens per-query speedup %.2fx, want >= 5x (%.3f ms vs %.3f ms)",
+				rep.SpeedupGreens, rep.PerQueryMsGreens, rep.PerQueryMsMG)
 		}
 	}
 	return nil

@@ -104,6 +104,7 @@ type Manifest struct {
 	NoWarmStart       bool      `json:"no_warm_start,omitempty"`
 	BatchWidth        int       `json:"batch_width,omitempty"`
 	Precond           string    `json:"precond,omitempty"`
+	FastPath          string    `json:"fast_path,omitempty"`
 }
 
 // manifest captures the sweep-shaping options.
@@ -114,6 +115,7 @@ func (o Options) manifest(label string) Manifest {
 		Instructions: o.Instructions, Freqs: o.Freqs,
 		MigrationGHz: o.MigrationGHz, MigrationPeriodMs: o.MigrationPeriodMs,
 		NoWarmStart: o.NoWarmStart, BatchWidth: o.BatchWidth, Precond: o.Precond,
+		FastPath: o.FastPath,
 	}
 }
 
@@ -126,6 +128,7 @@ func (m Manifest) Options() Options {
 		Instructions: m.Instructions, Freqs: m.Freqs,
 		MigrationGHz: m.MigrationGHz, MigrationPeriodMs: m.MigrationPeriodMs,
 		NoWarmStart: m.NoWarmStart, BatchWidth: m.BatchWidth, Precond: m.Precond,
+		FastPath: m.FastPath,
 	}
 }
 
@@ -152,11 +155,15 @@ func ReadManifest(dir string) (Manifest, error) {
 
 // sweepSignature pins a snapshot to the configuration that wrote it.
 // Frequencies are rendered with FormatFloat 'b' so the signature is
-// exact, not a rounded decimal.
+// exact, not a rounded decimal. The version prefix is xyck2: adding the
+// fast-path mode (which changes both the stats payload layout and, in
+// "on" mode, the checkpointed warm fields) retired the xyck1 format, so
+// pre-fast-path snapshots are rejected with ErrCkptMismatch instead of
+// misdecoded.
 func (o Options) sweepSignature(label string, apps []workload.Profile) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "xyck1|%s|grid=%dx%d|instr=%d|warm=%v|batch=%d|precond=%s|apps=",
-		label, o.GridRows, o.GridCols, o.Instructions, !o.NoWarmStart, o.batchWidth(), o.Precond)
+	fmt.Fprintf(&b, "xyck2|%s|grid=%dx%d|instr=%d|warm=%v|batch=%d|precond=%s|fastpath=%s|apps=",
+		label, o.GridRows, o.GridCols, o.Instructions, !o.NoWarmStart, o.batchWidth(), o.Precond, o.fastPathMode())
 	for i, a := range apps {
 		if i > 0 {
 			b.WriteByte(',')
@@ -340,6 +347,9 @@ func encodeStats(s perf.Stats) []byte {
 	e.I64(int64(s.BatchedSolves))
 	e.I64(s.BatchedColumns)
 	e.I64(s.DeflatedColumns)
+	e.I64(int64(s.GreensHits))
+	e.I64(int64(s.GreensMisses))
+	e.I64(int64(s.BasisBuilds))
 	e.U32(uint32(len(s.IterHist)))
 	for k := range s.IterHist {
 		e.I64(s.IterHist[k])
@@ -361,6 +371,9 @@ func decodeStats(b []byte) (perf.Stats, error) {
 	s.BatchedSolves = int(d.I64())
 	s.BatchedColumns = d.I64()
 	s.DeflatedColumns = d.I64()
+	s.GreensHits = int(d.I64())
+	s.GreensMisses = int(d.I64())
+	s.BasisBuilds = int(d.I64())
 	if n := int(d.U32()); n != len(s.IterHist) {
 		if err := d.Err(); err != nil {
 			return perf.Stats{}, err

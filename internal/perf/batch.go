@@ -77,6 +77,43 @@ func (e *Evaluator) ThermalBatchCtx(ctx context.Context, st *stack.Stack, pts []
 		return nil, err
 	}
 
+	// Fast-path routing. The reduced model serves each point directly — a
+	// GEMV per leakage iteration has nothing to gain from multi-RHS
+	// batching, and per-point serving preserves exactly the per-point
+	// fixed-point arithmetic. Oracle mode runs the batched CG path below
+	// and compares every point's outcome afterwards; a missing basis
+	// falls back to batched CG with the fallback solves counted.
+	fellBack := false
+	var oracleEnt *greensEntry
+	switch e.FastPath {
+	case FastPathOn:
+		ent, gerr := e.greensFor(ctx, st)
+		if gerr == nil {
+			for i, pt := range pts {
+				out, ferr := e.greensFixedPoint(ctx, st, sl, ent, pt.Freqs, pt.Res)
+				if ferr != nil {
+					return nil, ferr
+				}
+				outs[i] = out
+			}
+			return outs, nil
+		}
+		if ctx.Err() != nil {
+			return nil, gerr
+		}
+		fellBack = true
+	case FastPathOracle:
+		ent, gerr := e.greensFor(ctx, st)
+		if gerr == nil {
+			oracleEnt = ent
+		} else {
+			if ctx.Err() != nil {
+				return nil, gerr
+			}
+			fellBack = true
+		}
+	}
+
 	// Per-point fixed-point state, mirroring ThermalWarmCtx's locals —
 	// including the per-point leakage accounting ThermalWarmCtx emits, so
 	// the metrics are batching-invariant like the results.
@@ -144,6 +181,9 @@ func (e *Evaluator) ThermalBatchCtx(ctx context.Context, st *stack.Stack, pts []
 			Warm: warms, Tol: deg.tol(sl.s.Tol), Precond: deg.Precond,
 		})
 		e.noteBatch(bres, len(active))
+		if fellBack {
+			m.greensMisses.Add(int64(len(active)))
+		}
 		sl.mu.Unlock()
 		if err != nil {
 			return nil, err
@@ -198,6 +238,20 @@ func (e *Evaluator) ThermalBatchCtx(ctx context.Context, st *stack.Stack, pts []
 		outs[i].EnergyJ = (outs[i].ProcPowerW + outs[i].DRAMPowerW) * pt.Res.TimeNs * 1e-9
 		outs[i].Temps = temps[i]
 		outs[i].Result = pt.Res
+	}
+
+	// Oracle mode: replay every point on the reduced model and gate the
+	// batched CG outcomes on agreement within OracleTolC.
+	if oracleEnt != nil {
+		for i, pt := range pts {
+			fast, ferr := e.greensFixedPoint(ctx, st, sl, oracleEnt, pt.Freqs, pt.Res)
+			if ferr != nil {
+				return nil, ferr
+			}
+			if err := oracleCompare(fast, outs[i]); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return outs, nil
 }

@@ -26,6 +26,9 @@ type evalMetrics struct {
 	batchedColumns *obs.Counter
 	deflatedCols   *obs.Counter
 	batchOcc       *obs.Histogram
+	greensHits     *obs.Counter
+	greensMisses   *obs.Counter
+	basisBuilds    *obs.Counter
 
 	leakIters     *obs.Histogram
 	leakDelta     *obs.Gauge
@@ -53,6 +56,9 @@ func newEvalMetrics(r *obs.Registry, external bool) *evalMetrics {
 		batchedColumns: r.Counter("xylem_perf_batched_columns_total"),
 		deflatedCols:   r.Counter("xylem_perf_deflated_columns_total"),
 		batchOcc:       r.Histogram("xylem_perf_batch_occupancy", iterBounds),
+		greensHits:     r.Counter("xylem_perf_greens_hits_total"),
+		greensMisses:   r.Counter("xylem_perf_greens_misses_total"),
+		basisBuilds:    r.Counter("xylem_perf_basis_builds_total"),
 		leakIters:      r.Histogram("xylem_perf_leakage_iters", obs.PowerOfTwoBounds(6)),
 		leakDelta:      r.Gauge("xylem_perf_leakage_last_delta_c"),
 		leakExhausted:  r.Counter("xylem_perf_leakage_budget_exhausted_total"),

@@ -77,9 +77,17 @@ type Evaluator struct {
 	// Set it before the evaluator is shared across goroutines.
 	Precond thermal.Precond
 
+	// FastPath selects the Green's-function reduced-order serving mode
+	// (see greens.go): off (default), on, or oracle. Set it before the
+	// evaluator is shared across goroutines.
+	FastPath FastPath
+
 	mu      sync.Mutex // guards the cache pointers/maps below
 	cache   *activityCache
 	solvers map[*stack.Stack]*solverSlot
+	// basisCache is the singleflight Green's-basis cache, keyed by
+	// BasisKey content hashes (greens.go).
+	basisCache map[string]*basisCall
 	// met backs the Stats work counters with an obs registry — a private
 	// one by default, the caller's after AttachObs (see obs.go).
 	met *evalMetrics
@@ -227,6 +235,14 @@ type Stats struct {
 	// BatchOcc is the occupancy histogram of batched calls: bucket k
 	// counts calls carrying [2^(k-1), 2^k) columns.
 	BatchOcc IterHist
+	// GreensHits counts thermal queries served from the Green's-function
+	// basis (one per reduced fixed-point iteration — the CG solves the
+	// fast path replaced); GreensMisses counts CG solves run as fast-path
+	// fallbacks while FastPath was enabled; BasisBuilds counts bases
+	// actually precomputed (cache hits and installed bases don't add).
+	GreensHits   int
+	GreensMisses int
+	BasisBuilds  int
 }
 
 // Stats returns a snapshot of the work counters. Read it after the
@@ -249,6 +265,9 @@ func (e *Evaluator) Stats() Stats {
 		BatchedColumns:  m.batchedColumns.Value(),
 		DeflatedColumns: m.deflatedCols.Value(),
 		BatchOcc:        iterHistFromObs(m.batchOcc),
+		GreensHits:      int(m.greensHits.Value()),
+		GreensMisses:    int(m.greensMisses.Value()),
+		BasisBuilds:     int(m.basisBuilds.Value()),
 	}
 }
 
@@ -264,6 +283,9 @@ func (s Stats) Sub(prev Stats) Stats {
 		BatchedSolves:   s.BatchedSolves - prev.BatchedSolves,
 		BatchedColumns:  s.BatchedColumns - prev.BatchedColumns,
 		DeflatedColumns: s.DeflatedColumns - prev.DeflatedColumns,
+		GreensHits:      s.GreensHits - prev.GreensHits,
+		GreensMisses:    s.GreensMisses - prev.GreensMisses,
+		BasisBuilds:     s.BasisBuilds - prev.BasisBuilds,
 	}
 	for k := range d.IterHist {
 		d.IterHist[k] = s.IterHist[k] - prev.IterHist[k]
@@ -285,6 +307,9 @@ func (s Stats) Add(o Stats) Stats {
 		BatchedSolves:   s.BatchedSolves + o.BatchedSolves,
 		BatchedColumns:  s.BatchedColumns + o.BatchedColumns,
 		DeflatedColumns: s.DeflatedColumns + o.DeflatedColumns,
+		GreensHits:      s.GreensHits + o.GreensHits,
+		GreensMisses:    s.GreensMisses + o.GreensMisses,
+		BasisBuilds:     s.BasisBuilds + o.BasisBuilds,
 	}
 	for k := range t.IterHist {
 		t.IterHist[k] = s.IterHist[k] + o.IterHist[k]
@@ -583,6 +608,11 @@ func (e *Evaluator) ThermalCtx(ctx context.Context, st *stack.Stack, freqs []flo
 
 // ThermalWarmCtx is ThermalCtx with a warm-start field for the first
 // solve; later leakage iterations warm-start from their predecessor.
+// With FastPath on, the fixed point runs on the Green's-function reduced
+// model instead (the warm seed is unused there — a GEMV has no iterate),
+// falling back to the CG path when no basis can be built; with
+// FastPathOracle both paths run, disagreement beyond OracleTolC is an
+// error, and the CG outcome is returned.
 func (e *Evaluator) ThermalWarmCtx(ctx context.Context, st *stack.Stack, freqs []float64, res cpusim.Result, warm thermal.Temperature) (Outcome, error) {
 	if res.TimeNs <= 0 {
 		return Outcome{}, fmt.Errorf("perf: activity has zero duration")
@@ -595,6 +625,49 @@ func (e *Evaluator) ThermalWarmCtx(ctx context.Context, st *stack.Stack, freqs [
 		return Outcome{}, err
 	}
 
+	fellBack := false
+	switch e.FastPath {
+	case FastPathOn:
+		ent, gerr := e.greensFor(ctx, st)
+		if gerr == nil {
+			return e.greensFixedPoint(ctx, st, sl, ent, freqs, res)
+		}
+		if ctx.Err() != nil {
+			return Outcome{}, gerr
+		}
+		// Basis unavailable (build failure): serve this stack by CG and
+		// count the fallback solves.
+		fellBack = true
+	case FastPathOracle:
+		ent, gerr := e.greensFor(ctx, st)
+		if gerr != nil {
+			if ctx.Err() != nil {
+				return Outcome{}, gerr
+			}
+			fellBack = true
+			break
+		}
+		fast, ferr := e.greensFixedPoint(ctx, st, sl, ent, freqs, res)
+		if ferr != nil {
+			return Outcome{}, ferr
+		}
+		full, cerr := e.thermalCGWarmCtx(ctx, st, sl, freqs, res, warm, false)
+		if cerr != nil {
+			return Outcome{}, cerr
+		}
+		if err := oracleCompare(fast, full); err != nil {
+			return Outcome{}, err
+		}
+		return full, nil
+	}
+	return e.thermalCGWarmCtx(ctx, st, sl, freqs, res, warm, fellBack)
+}
+
+// thermalCGWarmCtx is the full-solve fixed point — the evaluation
+// pipeline as it exists without the fast path. fellBack marks solves run
+// because a requested fast path had no basis; they count as
+// GreensMisses.
+func (e *Evaluator) thermalCGWarmCtx(ctx context.Context, st *stack.Stack, sl *solverSlot, freqs []float64, res cpusim.Result, warm thermal.Temperature, fellBack bool) (Outcome, error) {
 	var temps thermal.Temperature
 	blockTemp := func(name string) float64 {
 		if temps == nil {
@@ -642,6 +715,9 @@ func (e *Evaluator) ThermalWarmCtx(ctx context.Context, st *stack.Stack, freqs [
 		temps, err = e.steadyState(ctx, sl, pm, seed)
 		if err != nil {
 			return Outcome{}, err
+		}
+		if fellBack {
+			m.greensMisses.Inc()
 		}
 		seed = temps
 		hot, _ := temps.Max(st.ProcMetalLayer)

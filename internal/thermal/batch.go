@@ -78,9 +78,11 @@ type BatchResult struct {
 	// VCycles[j] counts the multigrid V-cycles applied while column j
 	// was active (0 under Jacobi).
 	VCycles []int
-	// Deflated counts columns that retired — converged or failed —
-	// strictly before the batch's last active iteration: the amount of
-	// kernel work deflation actually skipped.
+	// Deflated counts columns that entered the lockstep recurrence and
+	// retired — converged or failed — strictly before the batch's last
+	// active iteration: the amount of kernel work deflation actually
+	// skipped. Columns rejected before entry (validation or hook
+	// failures) never held a lockstep slot and are not counted.
 	Deflated int
 }
 
@@ -289,11 +291,18 @@ func (s *Solver) SteadyStateBatch(ctx context.Context, pms []PowerMap, opts Batc
 		return res, nil
 	}
 
+	// cgBatch retires columns by editing the live slice in place, so
+	// snapshot the entrants first: deflation is defined over columns that
+	// actually entered the lockstep recurrence. Hook-failed columns never
+	// did — they sit at Iters == 0 without having skipped any kernel work,
+	// and counting them as deflated would overstate the batch win for
+	// every wide build with injected faults.
+	entered := append([]int(nil), live...)
 	batchErr := s.cgBatch(ctx, bs, &res, live, maxIter, injected, opts)
 
-	// Extract the converged columns and count deflation: any column that
-	// retired before the batch's last active iteration skipped kernels.
-	maxDone := 0
+	// Extract the converged columns and count deflation: any entered
+	// column that retired before the batch's last active iteration
+	// skipped kernels.
 	for _, j := range act {
 		if res.Errs[j] == nil {
 			out := make(Temperature, len(s.m.Layers))
@@ -307,11 +316,14 @@ func (s *Solver) SteadyStateBatch(ctx context.Context, pms []PowerMap, opts Batc
 			}
 			res.Temps[j] = out
 		}
+	}
+	maxDone := 0
+	for _, j := range entered {
 		if res.Iters[j] > maxDone {
 			maxDone = res.Iters[j]
 		}
 	}
-	for _, j := range act {
+	for _, j := range entered {
 		if res.Iters[j] < maxDone {
 			res.Deflated++
 		}
