@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke greens-smoke obs-smoke resume-smoke profile figures faults-smoke examples clean
+.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke greens-smoke kernel-smoke obs-smoke resume-smoke profile figures faults-smoke examples clean
 
 all: build vet test
 
@@ -63,6 +63,16 @@ batch-smoke:
 # below MG's (the basis precompute is amortised and reported separately).
 greens-smoke:
 	$(GO) run ./cmd/xylem parbench -check -grid 24 -apps lu-nas,fft -instr 60000 -freqs 2.4,3.5 -o /tmp/bench_greens_smoke.json
+
+# CI gate for the solver kernels and the pipelined CG recurrence: a
+# short run of the three kernel micro-benchmarks (stencil apply, Thomas
+# sweep, fused reduction), then a short parbench whose -check fails
+# unless the pipelined sweep's tables match classic MG at print
+# precision and the batched pipelined tables are byte-identical to the
+# per-point pipelined tables (alongside all the pre-existing gates).
+kernel-smoke:
+	$(GO) test -short -bench 'BenchmarkStencilApply|BenchmarkThomasSweep|BenchmarkFusedReduction' -benchtime=1x -run XXX -timeout 10m .
+	$(GO) run ./cmd/xylem parbench -check -grid 16 -apps lu-nas,fft -instr 60000 -freqs 2.4,3.5 -o /tmp/bench_kernel_smoke.json
 
 # CI gate for the observability layer: run a small figure bare and with
 # a live metrics endpoint (served in-process on 127.0.0.1:0, scraped

@@ -406,6 +406,63 @@ func BenchmarkThermalSteadyStateBatch(b *testing.B) {
 	}
 }
 
+// kernelBench builds a solver on an n×n BankE stack and hands its
+// kernel façade to the per-iteration body. One sub-benchmark per grid;
+// -short keeps only the 24×24 grid (the CI smoke size).
+func kernelBench(b *testing.B, body func(k thermal.KernelBench)) {
+	grids := []int{24, 64}
+	if testing.Short() {
+		grids = []int{24}
+	}
+	for _, n := range grids {
+		b.Run(fmt.Sprintf("grid%d", n), func(b *testing.B) {
+			cfg := stack.DefaultConfig()
+			cfg.GridRows, cfg.GridCols = n, n
+			st, err := stack.Build(cfg, stack.BankE)
+			if err != nil {
+				b.Fatal(err)
+			}
+			solver, err := thermal.NewSolver(st.Model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer solver.Close()
+			k := solver.Kernels()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				body(k)
+			}
+		})
+	}
+}
+
+// benchDotSink keeps the fused-reduction result live across iterations.
+var benchDotSink float64
+
+// BenchmarkStencilApply prices one full 7-point stencil operator apply
+// w = A·z over the finest level — the sweep every CG iteration pays at
+// least once, and the floor under any recurrence rearrangement.
+func BenchmarkStencilApply(b *testing.B) {
+	kernelBench(b, func(k thermal.KernelBench) { k.StencilApply() })
+}
+
+// BenchmarkThomasSweep prices one red-black line-smoothing sweep: a
+// tridiagonal Thomas solve per planar column through the stack's
+// layers, grouped four columns wide. The multigrid V-cycle is a handful
+// of these per level, so smoother cost bounds the preconditioner cost.
+func BenchmarkThomasSweep(b *testing.B) {
+	kernelBench(b, func(k thermal.KernelBench) { k.ThomasSweep() })
+}
+
+// BenchmarkFusedReduction prices the pipelined recurrence's fused
+// apply+dot pass (w = A·z with (w,z) banked over four accumulators)
+// against BenchmarkStencilApply: the difference is what the fused
+// reduction costs over the bare apply, and the classic path's separate
+// reduction sweep is what it saves.
+func BenchmarkFusedReduction(b *testing.B) {
+	kernelBench(b, func(k thermal.KernelBench) { benchDotSink = k.FusedReduction() })
+}
+
 // BenchmarkGreensApply prices one reduced-order steady-state serve — the
 // fused GEMV T = T_amb + G·p over the per-block Green's basis — against
 // the full CG solve it replaces (BenchmarkThermalSteadyState at the same

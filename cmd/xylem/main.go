@@ -108,7 +108,7 @@ basis (oracle runs both paths and fails on disagreement).`)
 
 // cliOpts holds the shared experiment flags registered by optFlags.
 type cliOpts struct {
-	apps, freqs, precond        *string
+	apps, freqs, precond, cg    *string
 	fastpath                    *string
 	grid, instr, workers, batch *int
 	cpuprofile, memprofile      *string
@@ -131,6 +131,7 @@ func optFlags(fs *flag.FlagSet) *cliOpts {
 		batch:       fs.Int("batch", 0, "multi-RHS thermal batch width (0 or 1 = per-point solves)"),
 		freqs:       fs.String("freqs", "2.4,2.8,3.2,3.5", "frequencies for temperature sweeps (GHz)"),
 		precond:     fs.String("precond", "", "CG preconditioner: auto (multigrid), mg, or jacobi"),
+		cg:          fs.String("cg", "", "CG recurrence: auto (classic), classic, or pipelined (single fused reduction per iteration)"),
 		fastpath:    fs.String("fastpath", "", "Green's-function reduced-order serving: off, on, or oracle"),
 		cpuprofile:  fs.String("cpuprofile", "", "write a CPU profile to this path"),
 		memprofile:  fs.String("memprofile", "", "write a heap profile to this path at exit"),
@@ -164,6 +165,7 @@ func (c *cliOpts) options() (exp.Options, error) {
 	o.Workers = *c.workers
 	o.BatchWidth = *c.batch
 	o.Precond = *c.precond
+	o.CG = *c.cg
 	o.FastPath = *c.fastpath
 	if *c.freqs != "" {
 		o.Freqs = nil
@@ -279,6 +281,10 @@ func runFigure(r *exp.Runner, id string) error {
 	if d.Solves > 0 {
 		fmt.Printf("solver work: %d solves, %d CG iters, %d V-cycles, %d degraded; iters/solve %s\n",
 			d.Solves, d.SolveIters, d.VCycles, d.DegradedSolves, d.IterHist)
+	}
+	if d.ResidualReplacements > 0 || d.DriftCorrections > 0 {
+		fmt.Printf("pipelined CG drift control: %d residual replacements, %d drift corrections\n",
+			d.ResidualReplacements, d.DriftCorrections)
 	}
 	if d.BatchedSolves > 0 {
 		fmt.Printf("batched solves: %d calls over %d columns, %d deflated early; occupancy %s\n",

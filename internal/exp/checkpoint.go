@@ -104,6 +104,7 @@ type Manifest struct {
 	NoWarmStart       bool      `json:"no_warm_start,omitempty"`
 	BatchWidth        int       `json:"batch_width,omitempty"`
 	Precond           string    `json:"precond,omitempty"`
+	CG                string    `json:"cg,omitempty"`
 	FastPath          string    `json:"fast_path,omitempty"`
 }
 
@@ -115,7 +116,7 @@ func (o Options) manifest(label string) Manifest {
 		Instructions: o.Instructions, Freqs: o.Freqs,
 		MigrationGHz: o.MigrationGHz, MigrationPeriodMs: o.MigrationPeriodMs,
 		NoWarmStart: o.NoWarmStart, BatchWidth: o.BatchWidth, Precond: o.Precond,
-		FastPath: o.FastPath,
+		CG: o.CG, FastPath: o.FastPath,
 	}
 }
 
@@ -128,7 +129,7 @@ func (m Manifest) Options() Options {
 		Instructions: m.Instructions, Freqs: m.Freqs,
 		MigrationGHz: m.MigrationGHz, MigrationPeriodMs: m.MigrationPeriodMs,
 		NoWarmStart: m.NoWarmStart, BatchWidth: m.BatchWidth, Precond: m.Precond,
-		FastPath: m.FastPath,
+		CG: m.CG, FastPath: m.FastPath,
 	}
 }
 
@@ -155,15 +156,15 @@ func ReadManifest(dir string) (Manifest, error) {
 
 // sweepSignature pins a snapshot to the configuration that wrote it.
 // Frequencies are rendered with FormatFloat 'b' so the signature is
-// exact, not a rounded decimal. The version prefix is xyck2: adding the
-// fast-path mode (which changes both the stats payload layout and, in
-// "on" mode, the checkpointed warm fields) retired the xyck1 format, so
-// pre-fast-path snapshots are rejected with ErrCkptMismatch instead of
-// misdecoded.
+// exact, not a rounded decimal. The version prefix is xyck3: adding the
+// CG-variant field (whose pipelined setting changes the recurrence
+// arithmetic and therefore the warm fields a snapshot carries) retired
+// xyck2, as the fast-path mode retired xyck1 before it — older
+// snapshots are rejected with ErrCkptMismatch instead of misdecoded.
 func (o Options) sweepSignature(label string, apps []workload.Profile) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "xyck2|%s|grid=%dx%d|instr=%d|warm=%v|batch=%d|precond=%s|fastpath=%s|apps=",
-		label, o.GridRows, o.GridCols, o.Instructions, !o.NoWarmStart, o.batchWidth(), o.Precond, o.fastPathMode())
+	fmt.Fprintf(&b, "xyck3|%s|grid=%dx%d|instr=%d|warm=%v|batch=%d|precond=%s|cg=%s|fastpath=%s|apps=",
+		label, o.GridRows, o.GridCols, o.Instructions, !o.NoWarmStart, o.batchWidth(), o.Precond, o.cgMode(), o.fastPathMode())
 	for i, a := range apps {
 		if i > 0 {
 			b.WriteByte(',')

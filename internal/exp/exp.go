@@ -83,6 +83,12 @@ type Options struct {
 	// to solver tolerance either way; the parallel benchmark uses it to
 	// compare iteration counts.
 	Precond string
+	// CG selects the CG recurrence for every thermal solve: "" or "auto"
+	// (classic default), "classic", or "pipelined" (single-reduction
+	// recurrence, see internal/thermal/pipelined.go). Results agree to
+	// solver tolerance either way; the pipelined variant trades two
+	// reduction sweeps per iteration for a drift-guarded recurrence.
+	CG string
 	// FastPath selects the Green's-function reduced-order serving mode
 	// for every thermal query: "" or "off" (full CG solves), "on" (serve
 	// from a precomputed per-stack basis, results agree to solver
@@ -114,6 +120,18 @@ func (o Options) workerCount() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// cgMode normalises the CG-variant spelling for checkpoint signatures
+// ("" and "auto" must pin identically).
+func (o Options) cgMode() string {
+	v, ok := thermal.ParseCGVariant(o.CG)
+	if !ok {
+		// NewRunner rejects unknown variants before any signature is
+		// taken; fall back to the raw spelling for safety.
+		return o.CG
+	}
+	return v.String()
 }
 
 // batchWidth resolves BatchWidth (≤1 means per-point solves).
@@ -181,6 +199,11 @@ func NewRunner(opts Options) (*Runner, error) {
 		return nil, fmt.Errorf("exp: unknown preconditioner %q (want auto, mg or jacobi)", opts.Precond)
 	}
 	sys.Ev.Precond = pc
+	cg, ok := thermal.ParseCGVariant(opts.CG)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown CG variant %q (want auto, classic or pipelined)", opts.CG)
+	}
+	sys.Ev.CG = cg
 	fp, err := perf.ParseFastPath(opts.FastPath)
 	if err != nil {
 		return nil, err

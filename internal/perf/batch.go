@@ -46,6 +46,12 @@ func (e *Evaluator) noteBatch(res thermal.BatchResult, k int) {
 		m.solveIters.Add(int64(res.Iters[j]))
 		m.vcycles.Add(int64(res.VCycles[j]))
 		m.iterHist.Observe(float64(res.Iters[j]))
+		if res.Replacements[j] > 0 {
+			m.residualRepl.Add(int64(res.Replacements[j]))
+		}
+		if res.DriftCorrections[j] > 0 {
+			m.driftCorr.Add(int64(res.DriftCorrections[j]))
+		}
 	}
 	m.batchedSolves.Inc()
 	m.batchedColumns.Add(int64(k))

@@ -21,6 +21,8 @@ type evalMetrics struct {
 	solves         *obs.Counter
 	solveIters     *obs.Counter
 	vcycles        *obs.Counter
+	residualRepl   *obs.Counter
+	driftCorr      *obs.Counter
 	iterHist       *obs.Histogram
 	batchedSolves  *obs.Counter
 	batchedColumns *obs.Counter
@@ -51,6 +53,8 @@ func newEvalMetrics(r *obs.Registry, external bool) *evalMetrics {
 		solves:         r.Counter("xylem_perf_solves_total"),
 		solveIters:     r.Counter("xylem_perf_solve_iters_total"),
 		vcycles:        r.Counter("xylem_perf_vcycles_total"),
+		residualRepl:   r.Counter("xylem_perf_residual_replacements_total"),
+		driftCorr:      r.Counter("xylem_perf_drift_corrections_total"),
 		iterHist:       r.Histogram("xylem_perf_solve_iters", iterBounds),
 		batchedSolves:  r.Counter("xylem_perf_batched_solves_total"),
 		batchedColumns: r.Counter("xylem_perf_batched_columns_total"),

@@ -77,6 +77,11 @@ type Evaluator struct {
 	// Set it before the evaluator is shared across goroutines.
 	Precond thermal.Precond
 
+	// CG is handed to each newly built thermal solver as its default CG
+	// recurrence (thermal.CGAuto resolves to the classic recurrence).
+	// Set it before the evaluator is shared across goroutines.
+	CG thermal.CGVariant
+
 	// FastPath selects the Green's-function reduced-order serving mode
 	// (see greens.go): off (default), on, or oracle. Set it before the
 	// evaluator is shared across goroutines.
@@ -218,6 +223,11 @@ type Stats struct {
 	// VCycles counts multigrid V-cycles across all solves (one per
 	// MG-preconditioned CG iteration; zero under Jacobi).
 	VCycles int64
+	// ResidualReplacements counts the pipelined recurrence's periodic
+	// true-residual replacements; DriftCorrections its convergence
+	// drift-guard corrections. Both stay zero on the classic recurrence.
+	ResidualReplacements int64
+	DriftCorrections     int64
 	// IterHist is the per-solve iteration-count histogram.
 	IterHist IterHist
 	// DegradedSolves counts solves that needed a relaxed tolerance.
@@ -255,10 +265,12 @@ func (e *Evaluator) Stats() Stats {
 	degraded := e.DegradedSolves
 	e.statsMu.Unlock()
 	return Stats{
-		ActivityRuns:    int(m.activityRuns.Value()),
-		Solves:          int(m.solves.Value()),
-		SolveIters:      m.solveIters.Value(),
-		VCycles:         m.vcycles.Value(),
+		ActivityRuns:         int(m.activityRuns.Value()),
+		Solves:               int(m.solves.Value()),
+		SolveIters:           m.solveIters.Value(),
+		VCycles:              m.vcycles.Value(),
+		ResidualReplacements: m.residualRepl.Value(),
+		DriftCorrections:     m.driftCorr.Value(),
 		IterHist:        iterHistFromObs(m.iterHist),
 		DegradedSolves:  degraded,
 		BatchedSolves:   int(m.batchedSolves.Value()),
@@ -275,10 +287,12 @@ func (e *Evaluator) Stats() Stats {
 // per-figure solver-work accounting the experiment drivers report.
 func (s Stats) Sub(prev Stats) Stats {
 	d := Stats{
-		ActivityRuns:    s.ActivityRuns - prev.ActivityRuns,
-		Solves:          s.Solves - prev.Solves,
-		SolveIters:      s.SolveIters - prev.SolveIters,
-		VCycles:         s.VCycles - prev.VCycles,
+		ActivityRuns:         s.ActivityRuns - prev.ActivityRuns,
+		Solves:               s.Solves - prev.Solves,
+		SolveIters:           s.SolveIters - prev.SolveIters,
+		VCycles:              s.VCycles - prev.VCycles,
+		ResidualReplacements: s.ResidualReplacements - prev.ResidualReplacements,
+		DriftCorrections:     s.DriftCorrections - prev.DriftCorrections,
 		DegradedSolves:  s.DegradedSolves - prev.DegradedSolves,
 		BatchedSolves:   s.BatchedSolves - prev.BatchedSolves,
 		BatchedColumns:  s.BatchedColumns - prev.BatchedColumns,
@@ -299,10 +313,12 @@ func (s Stats) Sub(prev Stats) Stats {
 // process that finished it.
 func (s Stats) Add(o Stats) Stats {
 	t := Stats{
-		ActivityRuns:    s.ActivityRuns + o.ActivityRuns,
-		Solves:          s.Solves + o.Solves,
-		SolveIters:      s.SolveIters + o.SolveIters,
-		VCycles:         s.VCycles + o.VCycles,
+		ActivityRuns:         s.ActivityRuns + o.ActivityRuns,
+		Solves:               s.Solves + o.Solves,
+		SolveIters:           s.SolveIters + o.SolveIters,
+		VCycles:              s.VCycles + o.VCycles,
+		ResidualReplacements: s.ResidualReplacements + o.ResidualReplacements,
+		DriftCorrections:     s.DriftCorrections + o.DriftCorrections,
 		DegradedSolves:  s.DegradedSolves + o.DegradedSolves,
 		BatchedSolves:   s.BatchedSolves + o.BatchedSolves,
 		BatchedColumns:  s.BatchedColumns + o.BatchedColumns,
@@ -450,6 +466,7 @@ func (e *Evaluator) slot(st *stack.Stack) (*solverSlot, error) {
 	}
 	s.Workers = e.Workers
 	s.DefaultPrecond = e.Precond
+	s.DefaultCG = e.CG
 	if e.met != nil && e.met.external {
 		s.AttachObs(e.met.reg)
 	}
@@ -479,6 +496,12 @@ func (e *Evaluator) noteSolve(solver *thermal.Solver) {
 	m.solveIters.Add(int64(solver.LastIters))
 	m.vcycles.Add(int64(solver.LastVCycles))
 	m.iterHist.Observe(float64(solver.LastIters))
+	if solver.LastReplacements > 0 {
+		m.residualRepl.Add(int64(solver.LastReplacements))
+	}
+	if solver.LastDriftCorrections > 0 {
+		m.driftCorr.Add(int64(solver.LastDriftCorrections))
+	}
 }
 
 // validateFixedPoint rejects fixed-point configurations that would

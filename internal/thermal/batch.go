@@ -62,6 +62,12 @@ type BatchOpts struct {
 	// (PrecondAuto = Solver.DefaultPrecond, which defaults to the
 	// multigrid V-cycle).
 	Precond Precond
+	// CG overrides the CG recurrence for this batch only (CGAuto =
+	// Solver.DefaultCG). The pipelined recurrence runs all lockstep
+	// columns through one fused reduction pass per iteration; each
+	// column's result stays bitwise-identical to its sequential
+	// pipelined solve.
+	CG CGVariant
 }
 
 // BatchResult reports the per-column outcomes of one batched solve.
@@ -84,13 +90,20 @@ type BatchResult struct {
 	// skipped. Columns rejected before entry (validation or hook
 	// failures) never held a lockstep slot and are not counted.
 	Deflated int
+	// Replacements[j] and DriftCorrections[j] count column j's periodic
+	// true-residual replacements and convergence drift-guard corrections
+	// on the pipelined recurrence (always 0 on the classic path).
+	Replacements     []int
+	DriftCorrections []int
 }
 
 // batchLevel is the per-level scratch of a batched solve: the same
 // slices mgLevel owns for single-RHS solves, widened to k interleaved
-// columns. x/b are nil at level 0, where cgBatch's own vectors serve.
+// columns (rp holds the k eliminated right-hand sides of the Thomas
+// solves; the pivot factors live precomputed on the mgLevel). x/b are
+// nil at level 0, where cgBatch's own vectors serve.
 type batchLevel struct {
-	r, cp, rp, x, b []float64
+	r, rp, x, b []float64
 }
 
 // batchScratch holds every buffer a batched solve needs, sized for one
@@ -106,6 +119,13 @@ type batchScratch struct {
 	partial []float64
 	// lvl mirrors Solver.levels.
 	lvl []batchLevel
+	// Pipelined-recurrence scratch, lazily allocated by
+	// ensurePipelinedBatch: w holds A·z interleaved; bank holds each cell
+	// chunk's banked-reduction accumulator rows (8k per chunk — four δ
+	// rows and four γ rows for the fused reduction; the update sweep uses
+	// the first four); pdot[c*k+j] is chunk c's γ partial for column j
+	// (partial carries δ).
+	w, bank, pdot []float64
 }
 
 // ensureBatch returns scratch for batch width k, reusing the cached one
@@ -126,7 +146,6 @@ func (s *Solver) ensureBatch(k int) *batchScratch {
 	bs.lvl = make([]batchLevel, len(s.levels))
 	for i, l := range s.levels {
 		bs.lvl[i].r = make([]float64, l.n*k)
-		bs.lvl[i].cp = make([]float64, l.n*k)
 		bs.lvl[i].rp = make([]float64, l.n*k)
 		if i > 0 {
 			bs.lvl[i].x = make([]float64, l.n*k)
@@ -164,10 +183,12 @@ func (s *Solver) runBatchChunks(activeCells int, f func(c int)) {
 func (s *Solver) SteadyStateBatch(ctx context.Context, pms []PowerMap, opts BatchOpts) (res BatchResult, _ error) {
 	k := len(pms)
 	res = BatchResult{
-		Temps:   make([]Temperature, k),
-		Errs:    make([]error, k),
-		Iters:   make([]int, k),
-		VCycles: make([]int, k),
+		Temps:            make([]Temperature, k),
+		Errs:             make([]error, k),
+		Iters:            make([]int, k),
+		VCycles:          make([]int, k),
+		Replacements:     make([]int, k),
+		DriftCorrections: make([]int, k),
 	}
 	if k == 0 {
 		return res, nil
@@ -179,7 +200,7 @@ func (s *Solver) SteadyStateBatch(ctx context.Context, pms []PowerMap, opts Batc
 		// A one-column batch IS the sequential solve (the batch contract
 		// is bitwise equality per column), so skip the interleaved
 		// machinery and its per-cell loop overhead entirely.
-		so := SolveOpts{Tol: opts.Tol, Precond: opts.Precond}
+		so := SolveOpts{Tol: opts.Tol, Precond: opts.Precond, CG: opts.CG}
 		if opts.Warm != nil {
 			so.Warm = opts.Warm[0]
 		}
@@ -187,9 +208,11 @@ func (s *Solver) SteadyStateBatch(ctx context.Context, pms []PowerMap, opts Batc
 		// (validation, warm-start shape) reports zero iterations, exactly
 		// like a column that never entered cgBatch.
 		s.LastIters, s.LastVCycles = 0, 0
+		s.LastReplacements, s.LastDriftCorrections = 0, 0
 		t, err := s.SteadyStateOpts(ctx, pms[0], so)
 		res.Temps[0], res.Errs[0] = t, err
 		res.Iters[0], res.VCycles[0] = s.LastIters, s.LastVCycles
+		res.Replacements[0], res.DriftCorrections[0] = s.LastReplacements, s.LastDriftCorrections
 		if err != nil && ctx.Err() != nil {
 			// Cancellation is a batch-level failure, like cgBatch reports.
 			return res, err
@@ -212,6 +235,12 @@ func (s *Solver) SteadyStateBatch(ctx context.Context, pms []PowerMap, opts Batc
 				o.vcycles.Observe(float64(res.VCycles[j]))
 				if res.Errs[j] != nil {
 					o.failures.Inc()
+				}
+				if res.Replacements[j] > 0 {
+					o.replacements.Add(int64(res.Replacements[j]))
+				}
+				if res.DriftCorrections[j] > 0 {
+					o.driftCorr.Add(int64(res.DriftCorrections[j]))
 				}
 			}
 			sp.End(obs.A("width", float64(k)),
@@ -337,6 +366,9 @@ func (s *Solver) SteadyStateBatch(ctx context.Context, pms []PowerMap, opts Batc
 // scalars (α, β, ρ, best-residual tracking) replicate cg exactly, so
 // every column's arithmetic matches its sequential solve bit for bit.
 func (s *Solver) cgBatch(ctx context.Context, bs *batchScratch, res *BatchResult, live []int, maxIter []int, injected []bool, opts BatchOpts) error {
+	if s.resolveCG(opts.CG) == CGPipelined {
+		return s.cgBatchPipelined(ctx, bs, res, live, maxIter, injected, opts)
+	}
 	k := bs.k
 	tol := opts.Tol
 	if tol <= 0 {
@@ -883,10 +915,14 @@ func (s *Solver) smoothLevelBatch(l *mgLevel, ls *batchLevel, b, x []float64, k 
 }
 
 // solveColumnBatch is solveColumn for k interleaved right-hand sides:
-// one pass over the planar column's conductances factorises and solves
-// the vertical tridiagonal system for every column in cols. Per-column
-// arithmetic — rhs assembly order, Thomas recurrences, back
-// substitution — matches solveColumn exactly.
+// one pass over the planar column's conductances solves the vertical
+// tridiagonal system for every column in cols, against the precomputed
+// elimination pivots of factorRange — the pivot chain is right-hand-side
+// independent, so the old per-column refactorisation (two divisions per
+// cell per column) was k-fold redundant work. Per-column arithmetic —
+// rhs assembly order, Thomas recurrences, back substitution — matches
+// solveColumn exactly: the pivots are the very values the sequential
+// solver divides by.
 func (l *mgLevel) solveColumnBatch(ls *batchLevel, b, x []float64, k int, cols []int, p, row, col int) {
 	if len(cols) == k {
 		l.solveColumnDense(ls, b, x, k, p, row, col)
@@ -904,14 +940,11 @@ func (l *mgLevel) solveColumnBatch(ls *batchLevel, b, x []float64, k int, cols [
 		if row > 0 {
 			gfB = l.gFront[i-l.cols]
 		}
-		var sub, sup float64
+		var sub float64
 		if lay > 0 {
 			sub = -l.gUp[i-npl]
 		}
-		if lay+1 < l.layers {
-			sup = -l.gUp[i]
-		}
-		sd := l.sdiag[i]
+		fd := l.fden[i]
 		for _, j := range cols {
 			rhs := b[base+j]
 			if gr != 0 {
@@ -926,13 +959,11 @@ func (l *mgLevel) solveColumnBatch(ls *batchLevel, b, x []float64, k int, cols [
 			if row > 0 && gfB != 0 {
 				rhs += gfB * x[base-kcols+j]
 			}
-			var cpPrev, rpPrev float64
+			var rpPrev float64
 			if lay > 0 {
-				cpPrev, rpPrev = ls.cp[base-knpl+j], ls.rp[base-knpl+j]
+				rpPrev = ls.rp[base-knpl+j]
 			}
-			denom := sd - sub*cpPrev
-			ls.cp[base+j] = sup / denom
-			ls.rp[base+j] = (rhs - sub*rpPrev) / denom
+			ls.rp[base+j] = (rhs - sub*rpPrev) / fd
 		}
 		i += npl
 	}
@@ -944,8 +975,9 @@ func (l *mgLevel) solveColumnBatch(ls *batchLevel, b, x []float64, k int, cols [
 	for lay := l.layers - 2; lay >= 0; lay-- {
 		i -= npl
 		base = i * k
+		fc := l.fcp[i]
 		for _, j := range cols {
-			x[base+j] = ls.rp[base+j] - ls.cp[base+j]*x[base+knpl+j]
+			x[base+j] = ls.rp[base+j] - fc*x[base+knpl+j]
 		}
 	}
 }
@@ -953,15 +985,15 @@ func (l *mgLevel) solveColumnBatch(ls *batchLevel, b, x []float64, k int, cols [
 // solveColumnDense is solveColumnBatch's all-columns-live fast path:
 // one fused pass per layer assembles the right-hand side and runs the
 // Thomas recurrence for every column, with the neighbour conductances
-// loaded once per cell. Unlike the sequential solveColumn, whose
-// forward recurrence is one dependent division chain through the
-// layers, the k columns' chains here are independent, so their
-// divisions pipeline. The per-column operation sequence — rhs
+// and the precomputed pivot loaded once per cell. Unlike the sequential
+// solveColumn, whose forward recurrence is one dependent division chain
+// through the layers, the k columns' chains here are independent, so
+// their divisions pipeline. The per-column operation sequence — rhs
 // accumulation order, recurrence, back substitution — is bit-for-bit
 // the sparse path's.
 func (l *mgLevel) solveColumnDense(ls *batchLevel, b, x []float64, k, p, row, col int) {
 	npl, kcols, knpl := l.nPerLayer, k*l.cols, k*l.nPerLayer
-	cp, rp := ls.cp, ls.rp
+	rp := ls.rp
 	i := p
 	for lay := 0; lay < l.layers; lay++ {
 		base := i * k
@@ -973,11 +1005,7 @@ func (l *mgLevel) solveColumnDense(ls *batchLevel, b, x []float64, k, p, row, co
 		if row > 0 {
 			gfB = l.gFront[i-l.cols]
 		}
-		var sup float64
-		if lay+1 < l.layers {
-			sup = -l.gUp[i]
-		}
-		sd := l.sdiag[i]
+		fd := l.fden[i]
 		bb := b[base : base+k : base+k]
 		if gr != 0 && grL != 0 && gf != 0 && gfB != 0 {
 			// Interior planar column: all four lateral couplings present.
@@ -989,23 +1017,21 @@ func (l *mgLevel) solveColumnDense(ls *batchLevel, b, x []float64, k, p, row, co
 			xl := x[base-k : base : base]
 			xf := x[base+kcols : base+kcols+k : base+kcols+k]
 			xk := x[base-kcols : base-kcols+k : base-kcols+k]
-			cpb := cp[base : base+k : base+k]
 			rpb := rp[base : base+k : base+k]
 			if lay > 0 {
 				sub := -l.gUp[i-npl]
-				cpp := cp[base-knpl : base-knpl+k : base-knpl+k]
 				rpp := rp[base-knpl : base-knpl+k : base-knpl+k]
 				for j := range bb {
 					rhs := bb[j] + gr*xr[j] + grL*xl[j] + gf*xf[j] + gfB*xk[j]
-					denom := sd - sub*cpp[j]
-					cpb[j] = sup / denom
-					rpb[j] = (rhs - sub*rpp[j]) / denom
+					rpb[j] = (rhs - sub*rpp[j]) / fd
 				}
 			} else {
+				// sub == 0 on the bottom layer, where the pivot is sdiag
+				// itself and the rhs correction vanishes, exactly as the
+				// guarded form computes with rpPrev = 0.
 				for j := range bb {
 					rhs := bb[j] + gr*xr[j] + grL*xl[j] + gf*xf[j] + gfB*xk[j]
-					cpb[j] = sup / sd
-					rpb[j] = rhs / sd
+					rpb[j] = rhs / fd
 				}
 			}
 		} else if lay > 0 {
@@ -1024,14 +1050,9 @@ func (l *mgLevel) solveColumnDense(ls *batchLevel, b, x []float64, k, p, row, co
 				if gfB != 0 {
 					rhs += gfB * x[base-kcols+j]
 				}
-				denom := sd - sub*cp[base-knpl+j]
-				cp[base+j] = sup / denom
-				rp[base+j] = (rhs - sub*rp[base-knpl+j]) / denom
+				rp[base+j] = (rhs - sub*rp[base-knpl+j]) / fd
 			}
 		} else {
-			// sub == 0 on the bottom layer: denom reduces to sd and the
-			// rhs correction to rhs itself, exactly as the guarded form
-			// computes with cpPrev = rpPrev = 0.
 			for j := range bb {
 				rhs := bb[j]
 				if gr != 0 {
@@ -1046,8 +1067,7 @@ func (l *mgLevel) solveColumnDense(ls *batchLevel, b, x []float64, k, p, row, co
 				if gfB != 0 {
 					rhs += gfB * x[base-kcols+j]
 				}
-				cp[base+j] = sup / sd
-				rp[base+j] = rhs / sd
+				rp[base+j] = rhs / fd
 			}
 		}
 		i += npl
@@ -1058,12 +1078,12 @@ func (l *mgLevel) solveColumnDense(ls *batchLevel, b, x []float64, k, p, row, co
 	for lay := l.layers - 2; lay >= 0; lay-- {
 		i -= npl
 		base = i * k
+		fc := l.fcp[i]
 		xb := x[base : base+k : base+k]
 		rpb := rp[base:]
-		cpb := cp[base:]
 		xn := x[base+knpl:]
 		for j := range xb {
-			xb[j] = rpb[j] - cpb[j]*xn[j]
+			xb[j] = rpb[j] - fc*xn[j]
 		}
 	}
 }

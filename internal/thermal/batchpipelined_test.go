@@ -1,0 +1,83 @@
+package thermal
+
+import (
+	"context"
+	"testing"
+)
+
+// The batch contract extends to the pipelined recurrence: column j of a
+// pipelined batch is bitwise-identical to the sequential pipelined solve
+// of pms[j] — same field, same iteration count, same V-cycle count, same
+// replacement and drift-correction counts — under both preconditioners.
+func TestBatchPipelinedBitwiseMatchesSequential(t *testing.T) {
+	m := robustModel()
+	ctx := context.Background()
+	for _, pc := range []Precond{PrecondMG, PrecondJacobi} {
+		t.Run(pc.String(), func(t *testing.T) {
+			s, err := NewSolver(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pms := batchPowers(m, 5)
+			res, err := s.SteadyStateBatch(ctx, pms, BatchOpts{Precond: pc, CG: CGPipelined})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sawReplacement := false
+			for j, pm := range pms {
+				if res.Errs[j] != nil {
+					t.Fatalf("column %d failed: %v", j, res.Errs[j])
+				}
+				seq, err := s.SteadyStateOpts(ctx, pm, SolveOpts{Precond: pc, CG: CGPipelined})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bitwiseEqual(res.Temps[j], seq) {
+					t.Errorf("column %d field differs from sequential pipelined solve", j)
+				}
+				if res.Iters[j] != s.LastIters {
+					t.Errorf("column %d took %d iterations, sequential took %d", j, res.Iters[j], s.LastIters)
+				}
+				if res.VCycles[j] != s.LastVCycles {
+					t.Errorf("column %d spent %d V-cycles, sequential spent %d", j, res.VCycles[j], s.LastVCycles)
+				}
+				if res.Replacements[j] != s.LastReplacements {
+					t.Errorf("column %d counted %d replacements, sequential counted %d", j, res.Replacements[j], s.LastReplacements)
+				}
+				if res.DriftCorrections[j] != s.LastDriftCorrections {
+					t.Errorf("column %d counted %d drift corrections, sequential counted %d", j, res.DriftCorrections[j], s.LastDriftCorrections)
+				}
+				sawReplacement = sawReplacement || res.Replacements[j] > 0
+			}
+			if pc == PrecondJacobi && !sawReplacement {
+				t.Error("no Jacobi column replaced its residual; the test no longer exercises the replacement path")
+			}
+		})
+	}
+}
+
+// A one-column pipelined batch takes the sequential shortcut; its
+// diagnostics must come through the same per-column surface.
+func TestBatchPipelinedSingleColumn(t *testing.T) {
+	m := robustModel()
+	ctx := context.Background()
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pms := batchPowers(m, 1)
+	res, err := s.SteadyStateBatch(ctx, pms, BatchOpts{Precond: PrecondJacobi, CG: CGPipelined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errs[0] != nil {
+		t.Fatal(res.Errs[0])
+	}
+	if res.Iters[0] != s.LastIters || res.Replacements[0] != s.LastReplacements {
+		t.Errorf("single-column diagnostics (%d iters, %d repl) disagree with solver (%d, %d)",
+			res.Iters[0], res.Replacements[0], s.LastIters, s.LastReplacements)
+	}
+	if res.Replacements[0] == 0 {
+		t.Error("Jacobi pipelined column reported no replacements; expected >0 over a long solve")
+	}
+}

@@ -1,0 +1,44 @@
+package thermal_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+// BenchmarkCGVariant prices one warm steady-state solve under each CG
+// recurrence at the parbench grid, so recurrence-level changes can be
+// compared without the full sweep harness.
+func BenchmarkCGVariant(b *testing.B) {
+	for _, n := range []int{24, 64} {
+		cfg := stack.DefaultConfig()
+		cfg.GridRows, cfg.GridCols = n, n
+		st, err := stack.Build(cfg, stack.BankE)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pm := st.Model.NewPowerMap()
+		for c := 0; c < 8; c++ {
+			pm.AddBlock(st.Model.Grid, st.ProcMetalLayer, st.Proc.CoreRect(c), 2)
+		}
+		for _, cg := range []thermal.CGVariant{thermal.CGClassic, thermal.CGPipelined} {
+			b.Run(fmt.Sprintf("grid%d/%s", n, cg), func(b *testing.B) {
+				solver, err := thermal.NewSolver(st.Model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer solver.Close()
+				solver.DefaultCG = cg
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := solver.SteadyState(pm); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(solver.LastIters), "iters")
+			})
+		}
+	}
+}

@@ -102,6 +102,11 @@ const (
 	mgCoarsestSweeps = 8
 	// mgCoarsestDim stops coarsening once both planar extents fit.
 	mgCoarsestDim = 3
+	// mgMaxLayers bounds the stack height so the line smoother can keep
+	// each column's Thomas intermediates in a fixed-size stack array
+	// instead of streaming them through level-sized scratch. Real stacks
+	// have tens of layers; NewSolver rejects models beyond the bound.
+	mgMaxLayers = 128
 )
 
 // mgLevel is one level of the multigrid hierarchy. Level 0 aliases the
@@ -116,10 +121,21 @@ type mgLevel struct {
 	gUp, gRight, gFront, gAmb, diag, capacity []float64
 
 	// Scratch. sdiag is diag + shift·capacity for the current shift
-	// (see ensureShifted); r holds smoothing residuals; cp/rp are the
-	// Thomas-algorithm factor rows; x/b are the level's correction and
-	// right-hand side (nil at level 0, where cg's own vectors serve).
-	sdiag, r, cp, rp, x, b []float64
+	// (see ensureShifted); r holds smoothing residuals; x/b are the
+	// level's correction and right-hand side (nil at level 0, where
+	// cg's own vectors serve).
+	sdiag, r, x, b []float64
+
+	// Precomputed Thomas factorisation of the vertical tridiagonals
+	// (ensureShifted, cached with sdiag). The forward-elimination pivots
+	// depend only on the operator and the shift — never on the sweep's
+	// right-hand side — so every line solve reuses them instead of
+	// re-deriving two divisions per cell per sweep. fden[i] is the pivot
+	// (denominator) at cell i, fcp[i] the eliminated superdiagonal
+	// factor sup/denom, and finv[i] = 1/fden[i] for kernels that trade
+	// the remaining division for a multiply (the pipelined path, which
+	// owes no bitwise identity to the classic recurrence).
+	fden, fcp, finv []float64
 }
 
 // allocScratch sizes the per-solver scratch of a level. Level 0 borrows
@@ -127,8 +143,9 @@ type mgLevel struct {
 func (l *mgLevel) allocScratch(withXB bool) {
 	l.sdiag = make([]float64, l.n)
 	l.r = make([]float64, l.n)
-	l.cp = make([]float64, l.n)
-	l.rp = make([]float64, l.n)
+	l.fden = make([]float64, l.n)
+	l.fcp = make([]float64, l.n)
+	l.finv = make([]float64, l.n)
 	if withXB {
 		l.x = make([]float64, l.n)
 		l.b = make([]float64, l.n)
@@ -251,51 +268,209 @@ func (s *Solver) ensureShifted(shift float64) {
 		lvl := l
 		if shift == 0 {
 			copy(lvl.sdiag, lvl.diag)
-			continue
+		} else {
+			s.runSpan(lvl.n, chunkCells, lvl.n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					lvl.sdiag[i] = lvl.diag[i] + shift*lvl.capacity[i]
+				}
+			})
 		}
-		s.runSpan(lvl.n, chunkCells, lvl.n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				lvl.sdiag[i] = lvl.diag[i] + shift*lvl.capacity[i]
-			}
+		w := planarChunkWidth(lvl.layers)
+		s.runSpan(lvl.nPerLayer, w, lvl.n, func(lo, hi int) {
+			lvl.factorRange(lo, hi)
 		})
 	}
 	s.shiftValid, s.shiftCached = true, shift
 }
 
+// factorRange precomputes the Thomas forward-elimination factors for the
+// vertical tridiagonals of planar columns [lo, hi). The pivot chain
+// denom = sdiag − sub·cpPrev, cpPrev = sup/denom is exactly the one the
+// line smoother used to recompute on every sweep; since it never touches
+// the right-hand side, hoisting it here leaves each sweep's remaining
+// arithmetic — and therefore the smoother's output — bit-identical.
+// Columns are independent, so chunked execution is deterministic.
+func (l *mgLevel) factorRange(lo, hi int) {
+	npl := l.nPerLayer
+	for p := lo; p < hi; p++ {
+		i := p
+		cpPrev := 0.0
+		for lay := 0; lay < l.layers; lay++ {
+			var sub float64 // coupling to the layer below
+			if lay > 0 {
+				sub = -l.gUp[i-npl]
+			}
+			denom := l.sdiag[i] - sub*cpPrev
+			var sup float64 // coupling to the layer above
+			if lay+1 < l.layers {
+				sup = -l.gUp[i]
+			}
+			cpPrev = sup / denom
+			l.fden[i] = denom
+			l.fcp[i] = cpPrev
+			l.finv[i] = 1 / denom
+			i += npl
+		}
+	}
+}
+
 // applyRange computes y[lo:hi] = ((G + shift·C)·x)[lo:hi] on this level,
 // reading the precomputed shifted diagonal. The stencil reads x outside
 // [lo, hi) (neighbour cells) but only writes inside it, so disjoint
-// ranges run concurrently.
+// ranges run concurrently. Rows whose every cell has interior (layer,
+// row) coordinates are peeled onto applyRowInterior's window kernel;
+// boundary rows, partial rows at the range edges, and degenerate grids
+// take the generic per-cell walk of applyCells. Per-cell arithmetic is
+// identical either way, so the split changes no bits.
 func (l *mgLevel) applyRange(x, y []float64, lo, hi int) {
+	cols, npl, rows, layers := l.cols, l.nPerLayer, l.rows, l.layers
+	if cols < 4 || rows < 3 || layers < 3 {
+		l.applyCells(x, y, lo, hi)
+		return
+	}
+	i := lo
+	if r := i % cols; r != 0 {
+		end := i + cols - r
+		if end > hi {
+			end = hi
+		}
+		l.applyCells(x, y, i, end)
+		i = end
+	}
+	for i+cols <= hi {
+		c := i % npl
+		lay := i / npl
+		row := c / cols
+		if row == 0 || row == rows-1 || lay == 0 || lay == layers-1 {
+			l.applyCells(x, y, i, i+cols)
+		} else {
+			l.applyRowInterior(x, y, i)
+		}
+		i += cols
+	}
+	if i < hi {
+		l.applyCells(x, y, i, hi)
+	}
+}
+
+// applyRowInterior applies the stencil to one full row whose layer and
+// row coordinates are both interior: every cell except the row's two
+// ends has all four planar neighbours in range, and the vertical
+// couplings exist on both sides. The middle cells run over exact-length
+// slice windows — bounds checks and coordinate tests gone — with the
+// same seven-point expression and guarded fallback as applyCells, so
+// each cell computes bit-identical values. rs is the row's first cell.
+func (l *mgLevel) applyRowInterior(x, y []float64, rs int) {
+	cols, npl := l.cols, l.nPerLayer
+	l.applyCells(x, y, rs, rs+1)
+	l.applyCells(x, y, rs+cols-1, rs+cols)
+	i0 := rs + 1
+	n := cols - 2
+	yc := y[i0 : i0+n : i0+n]
+	sdg := l.sdiag[i0 : i0+n : i0+n]
+	grs := l.gRight[i0 : i0+n : i0+n]
+	gls := l.gRight[i0-1 : i0-1+n : i0-1+n]
+	gfs := l.gFront[i0 : i0+n : i0+n]
+	gbs := l.gFront[i0-cols : i0-cols+n : i0-cols+n]
+	gus := l.gUp[i0 : i0+n : i0+n]
+	gds := l.gUp[i0-npl : i0-npl+n : i0-npl+n]
+	xc := x[i0 : i0+n : i0+n]
+	xr := x[i0+1 : i0+1+n : i0+1+n]
+	xl := x[i0-1 : i0-1+n : i0-1+n]
+	xf := x[i0+cols : i0+cols+n : i0+cols+n]
+	xb := x[i0-cols : i0-cols+n : i0-cols+n]
+	xu := x[i0+npl : i0+npl+n : i0+npl+n]
+	xd := x[i0-npl : i0-npl+n : i0-npl+n]
+	for j := range yc {
+		gr, gf, gu, gd := grs[j], gfs[j], gus[j], gds[j]
+		if gr != 0 && gf != 0 && gu != 0 && gd != 0 {
+			yc[j] = sdg[j]*xc[j] - gr*xr[j] - gf*xf[j] - gls[j]*xl[j] - gbs[j]*xb[j] - gu*xu[j] - gd*xd[j]
+			continue
+		}
+		acc := sdg[j] * xc[j]
+		if gr != 0 {
+			acc -= gr * xr[j]
+		}
+		if gf != 0 {
+			acc -= gf * xf[j]
+		}
+		acc -= gls[j] * xl[j]
+		acc -= gbs[j] * xb[j]
+		if gu != 0 {
+			acc -= gu * xu[j]
+		}
+		if gd != 0 {
+			acc -= gd * xd[j]
+		}
+		yc[j] = acc
+	}
+}
+
+// applyCells is applyRange's generic per-cell walk: the (layer, row,
+// col) decomposition advances incrementally — one div/mod set at lo
+// instead of three per cell — and fully-interior cells take a
+// branch-free seven-point path whose left-to-right subtraction order
+// matches the guarded form bit for bit (the same structure as
+// applyRangeBatch, so the serial and batched stencils stay
+// interchangeable).
+func (l *mgLevel) applyCells(x, y []float64, lo, hi int) {
+	cols, npl := l.cols, l.nPerLayer
+	c := lo % npl
+	lay := lo / npl
+	row, col := c/cols, c%cols
 	for i := lo; i < hi; i++ {
-		acc := l.sdiag[i] * x[i]
-		if g := l.gRight[i]; g != 0 {
-			acc -= g * x[i+1]
-		}
-		if g := l.gFront[i]; g != 0 {
-			acc -= g * x[i+l.cols]
-		}
-		// Symmetric counterparts.
-		c := i % l.nPerLayer
-		row, col := c/l.cols, c%l.cols
+		sd := l.sdiag[i]
+		gr, gf := l.gRight[i], l.gFront[i]
+		var grL, gfB float64
 		if col > 0 {
-			acc -= l.gRight[i-1] * x[i-1]
+			grL = l.gRight[i-1]
 		}
 		if row > 0 {
-			acc -= l.gFront[i-l.cols] * x[i-l.cols]
+			gfB = l.gFront[i-cols]
 		}
-		lay := i / l.nPerLayer
+		var gu, gd float64
 		if lay+1 < l.layers {
-			if g := l.gUp[i]; g != 0 {
-				acc -= g * x[i+l.nPerLayer]
-			}
+			gu = l.gUp[i]
 		}
 		if lay > 0 {
-			if g := l.gUp[i-l.nPerLayer]; g != 0 {
-				acc -= g * x[i-l.nPerLayer]
+			gd = l.gUp[i-npl]
+		}
+		if gr != 0 && gf != 0 && col > 0 && row > 0 && gu != 0 && gd != 0 {
+			// Fully interior cell: all six couplings present. The
+			// unconditional grL/gfB multiplies mirror the guarded form,
+			// which also multiplies them unconditionally once col/row > 0.
+			y[i] = sd*x[i] - gr*x[i+1] - gf*x[i+cols] - grL*x[i-1] - gfB*x[i-cols] - gu*x[i+npl] - gd*x[i-npl]
+		} else {
+			acc := sd * x[i]
+			if gr != 0 {
+				acc -= gr * x[i+1]
+			}
+			if gf != 0 {
+				acc -= gf * x[i+cols]
+			}
+			if col > 0 {
+				acc -= grL * x[i-1]
+			}
+			if row > 0 {
+				acc -= gfB * x[i-cols]
+			}
+			if gu != 0 {
+				acc -= gu * x[i+npl]
+			}
+			if gd != 0 {
+				acc -= gd * x[i-npl]
+			}
+			y[i] = acc
+		}
+		col++
+		if col == cols {
+			col = 0
+			row++
+			if row == l.rows {
+				row = 0
+				lay++
 			}
 		}
-		y[i] = acc
 	}
 }
 
@@ -331,26 +506,55 @@ func (s *Solver) smoothLevel(l *mgLevel, b, x []float64, reverse bool) {
 	for _, color := range order {
 		color := color
 		s.runSpan(l.nPerLayer, w, l.n, func(lo, hi int) {
-			for p := lo; p < hi; p++ {
-				row, col := p/l.cols, p%l.cols
-				if (row+col)&1 != color {
-					continue
-				}
-				l.solveColumn(b, x, p, row, col)
-			}
+			l.smoothSpan(b, x, color, lo, hi)
 		})
+	}
+}
+
+// smoothSpan solves every column of the given colour with planar index
+// in [lo, hi). It walks rows directly — same-colour columns sit at
+// stride 2 within a row — instead of testing every cell's parity, and
+// fuses groups of four columns so their Thomas division chains pipeline
+// (a single column's forward recurrence is one dependent division chain;
+// four interleaved chains hide most of the divider latency). Columns are
+// processed in ascending planar order and each column's arithmetic is
+// untouched by the grouping, so the sweep is bit-for-bit the naive
+// cell-parity loop.
+func (l *mgLevel) smoothSpan(b, x []float64, color, lo, hi int) {
+	cols := l.cols
+	for p := lo; p < hi; {
+		row := p / cols
+		rowStart := row * cols
+		bound := rowStart + cols
+		if bound > hi {
+			bound = hi
+		}
+		col := p - rowStart
+		if (row+col)&1 != color {
+			col++
+		}
+		for ; rowStart+col+6 < bound; col += 8 {
+			l.solveColumns4(b, x, rowStart+col, row, col)
+		}
+		for ; rowStart+col < bound; col += 2 {
+			l.solveColumn(b, x, rowStart+col, row, col)
+		}
+		p = bound
 	}
 }
 
 // solveColumn performs the exact vertical tridiagonal solve of one cell
 // column (Thomas algorithm), with the lateral couplings to the current
 // values of the neighbouring columns folded into the right-hand side.
-// The column writes only its own cells (and its own rows of the cp/rp
-// factor scratch), so same-colour columns are independent.
+// The elimination pivots come precomputed from factorRange, so the
+// forward pass is one division per cell; the eliminated right-hand side
+// lives in a stack array, so the column touches no level-sized scratch
+// and writes only its own cells — same-colour columns are independent.
 func (l *mgLevel) solveColumn(b, x []float64, p, row, col int) {
 	npl, cols := l.nPerLayer, l.cols
+	var rp [mgMaxLayers]float64
 	i := p
-	var cpPrev, rpPrev float64
+	rpPrev := 0.0
 	for lay := 0; lay < l.layers; lay++ {
 		rhs := b[i]
 		if g := l.gRight[i]; g != 0 {
@@ -373,23 +577,78 @@ func (l *mgLevel) solveColumn(b, x []float64, p, row, col int) {
 		if lay > 0 {
 			sub = -l.gUp[i-npl]
 		}
-		denom := l.sdiag[i] - sub*cpPrev
-		var sup float64 // coupling to the layer above
-		if lay+1 < l.layers {
-			sup = -l.gUp[i]
-		}
-		cpPrev = sup / denom
-		rpPrev = (rhs - sub*rpPrev) / denom
-		l.cp[i], l.rp[i] = cpPrev, rpPrev
+		rpPrev = (rhs - sub*rpPrev) / l.fden[i]
+		rp[lay] = rpPrev
 		i += npl
 	}
 	i -= npl
-	xi := l.rp[i]
+	xi := rp[l.layers-1]
 	x[i] = xi
 	for lay := l.layers - 2; lay >= 0; lay-- {
 		i -= npl
-		xi = l.rp[i] - l.cp[i]*xi
+		xi = rp[lay] - l.fcp[i]*xi
 		x[i] = xi
+	}
+}
+
+// solveColumns4 runs solveColumn for the four same-colour columns at
+// planar offsets p, p+2, p+4, p+6 of one row, with the four Thomas
+// recurrences interleaved per layer. Same-colour columns never read each
+// other's cells and each column's multiply/divide sequence is exactly
+// solveColumn's, so the fusion changes scheduling only: the four
+// dependent division chains pipeline through the divider instead of
+// serialising, which is where the sequential smoother spends most of its
+// time (the batched smoother already gets this for free from its k
+// interleaved right-hand sides).
+func (l *mgLevel) solveColumns4(b, x []float64, p, row, col int) {
+	npl, cols := l.nPerLayer, l.cols
+	i := [4]int{p, p + 2, p + 4, p + 6}
+	var rp [mgMaxLayers][4]float64
+	var rpPrev [4]float64
+	for lay := 0; lay < l.layers; lay++ {
+		var rhs, sub [4]float64
+		for q := 0; q < 4; q++ {
+			iq := i[q]
+			r := b[iq]
+			if g := l.gRight[iq]; g != 0 {
+				r += g * x[iq+1]
+			}
+			if col+2*q > 0 {
+				if g := l.gRight[iq-1]; g != 0 {
+					r += g * x[iq-1]
+				}
+			}
+			if g := l.gFront[iq]; g != 0 {
+				r += g * x[iq+cols]
+			}
+			if row > 0 {
+				if g := l.gFront[iq-cols]; g != 0 {
+					r += g * x[iq-cols]
+				}
+			}
+			rhs[q] = r
+			if lay > 0 {
+				sub[q] = -l.gUp[iq-npl]
+			}
+		}
+		for q := 0; q < 4; q++ {
+			rpPrev[q] = (rhs[q] - sub[q]*rpPrev[q]) / l.fden[i[q]]
+			rp[lay][q] = rpPrev[q]
+			i[q] += npl
+		}
+	}
+	var xi [4]float64
+	for q := 0; q < 4; q++ {
+		i[q] -= npl
+		xi[q] = rp[l.layers-1][q]
+		x[i[q]] = xi[q]
+	}
+	for lay := l.layers - 2; lay >= 0; lay-- {
+		for q := 0; q < 4; q++ {
+			i[q] -= npl
+			xi[q] = rp[lay][q] - l.fcp[i[q]]*xi[q]
+			x[i[q]] = xi[q]
+		}
 	}
 }
 
@@ -398,10 +657,11 @@ func (l *mgLevel) solveColumn(b, x []float64, p, row, col int) {
 // row-major order, so the result is independent of chunk scheduling.
 func (s *Solver) restrictTo(f, c *mgLevel) {
 	s.runSpan(c.n, chunkCells, c.n, func(lo, hi int) {
+		// Incremental (layer, R, C) walk — one div/mod set per chunk.
+		p0 := lo % c.nPerLayer
+		lay := lo / c.nPerLayer
+		R, C := p0/c.cols, p0%c.cols
 		for ci := lo; ci < hi; ci++ {
-			lay := ci / c.nPerLayer
-			p := ci % c.nPerLayer
-			R, C := p/c.cols, p%c.cols
 			base := lay * f.nPerLayer
 			acc := 0.0
 			for dr := 0; dr < 2; dr++ {
@@ -419,6 +679,15 @@ func (s *Solver) restrictTo(f, c *mgLevel) {
 				}
 			}
 			c.b[ci] = acc
+			C++
+			if C == c.cols {
+				C = 0
+				R++
+				if R == c.rows {
+					R = 0
+					lay++
+				}
+			}
 		}
 	})
 }
@@ -427,11 +696,22 @@ func (s *Solver) restrictTo(f, c *mgLevel) {
 // aggregate injection (the transpose of restrictTo's sum).
 func (s *Solver) prolongFrom(f, c *mgLevel, x []float64) {
 	s.runSpan(f.n, chunkCells, f.n, func(lo, hi int) {
+		// Incremental fine-cell (layer, row, col) walk; the coarse parent
+		// coordinates are the halved row/col, recomputed by shift.
+		p0 := lo % f.nPerLayer
+		lay := lo / f.nPerLayer
+		frow, fcol := p0/f.cols, p0%f.cols
 		for i := lo; i < hi; i++ {
-			lay := i / f.nPerLayer
-			p := i % f.nPerLayer
-			R, C := (p/f.cols)/2, (p%f.cols)/2
-			x[i] += c.x[lay*c.nPerLayer+R*c.cols+C]
+			x[i] += c.x[lay*c.nPerLayer+(frow>>1)*c.cols+(fcol>>1)]
+			fcol++
+			if fcol == f.cols {
+				fcol = 0
+				frow++
+				if frow == f.rows {
+					frow = 0
+					lay++
+				}
+			}
 		}
 	})
 }

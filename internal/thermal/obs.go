@@ -16,7 +16,13 @@ type solverObs struct {
 	batches    *obs.Counter
 	batchWidth *obs.Histogram
 	deflations *obs.Counter
-	trace      *obs.TraceRing
+	// replacements counts the pipelined-CG periodic true-residual
+	// replacements; driftCorr counts the convergence-time drift guard's
+	// corrections (recurrence said converged, true residual disagreed).
+	// Both stay zero on the classic path.
+	replacements *obs.Counter
+	driftCorr    *obs.Counter
+	trace        *obs.TraceRing
 }
 
 // AttachObs wires the solver's instrumentation to a registry (nil
@@ -34,9 +40,11 @@ func (s *Solver) AttachObs(r *obs.Registry) {
 		iters:      r.Histogram("xylem_thermal_cg_iters", obs.PowerOfTwoBounds(15)),
 		vcycles:    r.Histogram("xylem_thermal_vcycles", obs.PowerOfTwoBounds(12)),
 		residual:   r.Gauge("xylem_thermal_last_residual"),
-		batches:    r.Counter("xylem_thermal_batch_solves_total"),
-		batchWidth: r.Histogram("xylem_thermal_batch_width", obs.PowerOfTwoBounds(8)),
-		deflations: r.Counter("xylem_thermal_batch_deflations_total"),
-		trace:      r.Trace(),
+		batches:      r.Counter("xylem_thermal_batch_solves_total"),
+		batchWidth:   r.Histogram("xylem_thermal_batch_width", obs.PowerOfTwoBounds(8)),
+		deflations:   r.Counter("xylem_thermal_batch_deflations_total"),
+		replacements: r.Counter("xylem_thermal_residual_replacements_total"),
+		driftCorr:    r.Counter("xylem_thermal_drift_corrections_total"),
+		trace:        r.Trace(),
 	}
 }

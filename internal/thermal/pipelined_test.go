@@ -1,0 +1,212 @@
+package thermal
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/fault"
+)
+
+func TestParseCGVariant(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CGVariant
+		ok   bool
+	}{
+		{"", CGAuto, true},
+		{"auto", CGAuto, true},
+		{"classic", CGClassic, true},
+		{"pipelined", CGPipelined, true},
+		{"sstep", CGAuto, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseCGVariant(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseCGVariant(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	for _, v := range []CGVariant{CGAuto, CGClassic, CGPipelined} {
+		back, ok := ParseCGVariant(v.String())
+		if v == CGAuto {
+			continue // "auto" round-trips by definition of the table above
+		}
+		if !ok || back != v {
+			t.Errorf("round trip %v -> %q -> %v, ok=%v", v, v.String(), back, ok)
+		}
+	}
+}
+
+// The determinism contract extends to the pipelined recurrence: a solve
+// crossing the parallel threshold must produce bitwise-identical fields
+// and iteration counts for every worker count.
+func TestPipelinedSolveBitwiseDeterministic(t *testing.T) {
+	m := slabModel(120, 120, 3, 100e-6, 120, 30000)
+	if n := m.NumCells(); n < parallelMinCells {
+		t.Fatalf("test model has %d cells, below the parallel threshold %d", n, parallelMinCells)
+	}
+	p := gradientPower(m, 80)
+
+	for _, pc := range []Precond{PrecondMG, PrecondJacobi} {
+		var ref Temperature
+		var refIters int
+		for _, workers := range []int{1, 2, 3, 8} {
+			s, err := NewSolver(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Workers = workers
+			s.DefaultCG = CGPipelined
+			temps, err := s.SteadyStateOpts(context.Background(), p, SolveOpts{Precond: pc})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", pc, workers, err)
+			}
+			s.Close()
+			if ref == nil {
+				ref, refIters = temps, s.LastIters
+				continue
+			}
+			if s.LastIters != refIters {
+				t.Errorf("%v workers=%d: %d iterations, workers=1 took %d", pc, workers, s.LastIters, refIters)
+			}
+			for li := range temps {
+				for c := range temps[li] {
+					if temps[li][c] != ref[li][c] {
+						t.Fatalf("%v workers=%d: field differs at layer %d cell %d: %v != %v",
+							pc, workers, li, c, temps[li][c], ref[li][c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The fault taxonomy must survive the variant switch: budget exhaustion,
+// injected divergence, injected budget, and cancellation all classify
+// identically on the pipelined path.
+func TestPipelinedFaultTaxonomy(t *testing.T) {
+	m := slabModel(16, 16, 2, 100e-6, 120, 30000)
+	pm := gradientPower(m, 40)
+
+	t.Run("budget", func(t *testing.T) {
+		s, err := NewSolver(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.DefaultCG = CGPipelined
+		s.MaxIter = 2
+		_, err = s.SteadyStateOpts(context.Background(), pm, SolveOpts{Precond: PrecondJacobi})
+		if !errors.Is(err, fault.ErrBudget) {
+			t.Fatalf("got %v, want ErrBudget", err)
+		}
+		if errors.Is(err, fault.ErrInjected) {
+			t.Errorf("real budget exhaustion classified as injected: %v", err)
+		}
+		var be *fault.BudgetError
+		if !errors.As(err, &be) || be.Iters != 2 {
+			t.Errorf("budget error detail wrong: %+v", be)
+		}
+	})
+
+	t.Run("injected-divergence", func(t *testing.T) {
+		s, err := NewSolver(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.DefaultCG = CGPipelined
+		s.Hook = func() (int, error) {
+			return 0, &fault.DivergenceError{Injected: true, Detail: "test"}
+		}
+		_, err = s.SteadyState(pm)
+		if !errors.Is(err, fault.ErrDiverged) || !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("got %v, want injected divergence", err)
+		}
+	})
+
+	t.Run("injected-budget", func(t *testing.T) {
+		s, err := NewSolver(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.DefaultCG = CGPipelined
+		s.Hook = func() (int, error) { return 1, nil }
+		_, err = s.SteadyStateOpts(context.Background(), pm, SolveOpts{Precond: PrecondJacobi})
+		if !errors.Is(err, fault.ErrBudget) || !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("got %v, want injected budget", err)
+		}
+	})
+
+	t.Run("cancelled", func(t *testing.T) {
+		s, err := NewSolver(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.DefaultCG = CGPipelined
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err = s.SteadyStateCtx(ctx, pm)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	})
+}
+
+// The pipelined recurrence must handle the shifted operator of transient
+// stepping (A + C/dt) exactly like the classic one: same trajectory
+// within solve tolerance.
+func TestPipelinedTransientMatchesClassic(t *testing.T) {
+	m := slabModel(24, 24, 3, 100e-6, 120, 30000)
+	pm := gradientPower(m, 60)
+
+	run := func(v CGVariant) []Temperature {
+		s, err := NewSolver(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.DefaultCG = v
+		ts := s.NewTransientAmbient()
+		var out []Temperature
+		for i := 0; i < 5; i++ {
+			if err := ts.Step(pm, 1e-3); err != nil {
+				t.Fatalf("%v step %d: %v", v, i, err)
+			}
+			out = append(out, ts.Field())
+		}
+		return out
+	}
+	classic := run(CGClassic)
+	pipe := run(CGPipelined)
+	for step := range classic {
+		for li := range classic[step] {
+			for c := range classic[step][li] {
+				if d := math.Abs(classic[step][li][c] - pipe[step][li][c]); d > 1e-6 {
+					t.Fatalf("step %d layer %d cell %d: classic %v vs pipelined %v (Δ=%g K)",
+						step, li, c, classic[step][li][c], pipe[step][li][c], d)
+				}
+			}
+		}
+	}
+}
+
+// Clone must carry the variant selection so per-stack solver clones in
+// perf inherit the evaluator's -cg choice.
+func TestCloneCarriesCGVariant(t *testing.T) {
+	m := slabModel(8, 8, 2, 100e-6, 120, 30000)
+	s, err := NewSolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.DefaultCG = CGPipelined
+	c := s.Clone()
+	if c.DefaultCG != CGPipelined {
+		t.Fatalf("clone DefaultCG = %v, want pipelined", c.DefaultCG)
+	}
+	if c.resolveCG(CGAuto) != CGPipelined {
+		t.Fatalf("clone resolveCG(auto) = %v, want pipelined", c.resolveCG(CGAuto))
+	}
+	if s.resolveCG(CGClassic) != CGClassic {
+		t.Fatalf("explicit classic must override the default")
+	}
+}

@@ -1,0 +1,109 @@
+package thermal_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
+)
+
+// pipelinedVsClassic solves one real stack under both CG recurrences
+// (same preconditioner) and returns the max-abs field difference — the
+// drift pin: both variants converge to the same relative residual, so
+// their fields must agree within solve tolerance with the classic
+// recurrence as oracle.
+func pipelinedVsClassic(t *testing.T, kind stack.SchemeKind, grid int, pc thermal.Precond) (maxAbs float64, s *thermal.Solver) {
+	t.Helper()
+	cfg := stack.DefaultConfig()
+	cfg.GridRows, cfg.GridCols = grid, grid
+	st, err := stack.Build(cfg, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = thermal.NewSolver(st.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := st.Model.NewPowerMap()
+	n := st.Model.Grid.NumCells()
+	for c := 0; c < n; c++ {
+		pm[st.ProcMetalLayer][c] = 60 * (1 + float64(c%89)/89.0) / (1.5 * float64(n))
+	}
+	for _, li := range st.DRAMMetalLayers {
+		for c := 0; c < n; c++ {
+			pm[li][c] = 0.5 / float64(n)
+		}
+	}
+	ctx := context.Background()
+	classic, err := s.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Precond: pc, CG: thermal.CGClassic})
+	if err != nil {
+		t.Fatalf("%v classic solve: %v", kind, err)
+	}
+	if s.LastReplacements != 0 || s.LastDriftCorrections != 0 {
+		t.Errorf("classic solve reported %d replacements / %d drift corrections, want 0/0",
+			s.LastReplacements, s.LastDriftCorrections)
+	}
+	pipe, err := s.SteadyStateOpts(ctx, pm, thermal.SolveOpts{Precond: pc, CG: thermal.CGPipelined})
+	if err != nil {
+		t.Fatalf("%v pipelined solve: %v", kind, err)
+	}
+	for li := range classic {
+		for c := range classic[li] {
+			if d := math.Abs(classic[li][c] - pipe[li][c]); d > maxAbs {
+				maxAbs = d
+			}
+		}
+	}
+	return maxAbs, s
+}
+
+// The CG-variant acceptance cross-check: on every TTSV scheme's real
+// stack model the pipelined recurrence must reproduce the classic
+// fields to ≤1e-6 K under the MG preconditioner.
+func TestPipelinedMatchesClassicAllSchemes(t *testing.T) {
+	for _, kind := range stack.AllSchemes {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			maxAbs, _ := pipelinedVsClassic(t, kind, 24, thermal.PrecondMG)
+			if maxAbs > 1e-6 {
+				t.Errorf("fields differ by %g K, want ≤1e-6", maxAbs)
+			}
+		})
+	}
+}
+
+// The same pin at the paper's 32x32 evaluation grid for the baseline
+// and the headline scheme.
+func TestPipelinedMatchesClassicEvalGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32x32 stacks in -short mode")
+	}
+	for _, kind := range []stack.SchemeKind{stack.Base, stack.BankE} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			maxAbs, _ := pipelinedVsClassic(t, kind, 32, thermal.PrecondMG)
+			if maxAbs > 1e-6 {
+				t.Errorf("fields differ by %g K, want ≤1e-6", maxAbs)
+			}
+		})
+	}
+}
+
+// Under the Jacobi preconditioner the solve runs hundreds of iterations,
+// so the pipelined path's periodic true-residual replacement must fire —
+// this pins both the drift-control machinery and the replacement
+// counters the solver-work report prints.
+func TestPipelinedJacobiDriftControl(t *testing.T) {
+	maxAbs, s := pipelinedVsClassic(t, stack.Base, 24, thermal.PrecondJacobi)
+	if maxAbs > 1e-6 {
+		t.Errorf("fields differ by %g K, want ≤1e-6", maxAbs)
+	}
+	if s.LastIters <= 50 {
+		t.Fatalf("Jacobi pipelined solve took %d iterations; test needs >50 to exercise replacement", s.LastIters)
+	}
+	if s.LastReplacements == 0 {
+		t.Errorf("pipelined Jacobi solve over %d iterations reported 0 residual replacements", s.LastIters)
+	}
+}

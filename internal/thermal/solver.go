@@ -50,6 +50,12 @@ type Solver struct {
 	// scratch buffers reused across solves. partial holds the per-chunk
 	// reduction partials (see parallel.go); one slot per chunk.
 	r, z, p, ap, partial []float64
+	// w and pdot are the pipelined-CG extras (see pipelined.go): w holds
+	// A·u, pdot the second per-chunk partial bank of the fused γ/δ
+	// reduction (partial carries δ = w·u, pdot carries γ = r·u). Both are
+	// allocated lazily on the first pipelined solve so classic-only
+	// solvers pay nothing.
+	w, pdot []float64
 
 	// Tol is the relative-residual convergence tolerance for CG. A
 	// per-call override goes through SolveOpts — concurrent users must
@@ -70,6 +76,11 @@ type Solver struct {
 	// resolves to PrecondMG — the multigrid V-cycle is the default;
 	// Jacobi remains selectable as the fallback/baseline.
 	DefaultPrecond Precond
+	// DefaultCG selects the CG recurrence for solves that don't pick one
+	// via SolveOpts.CG. CGAuto (the zero value) resolves to CGClassic —
+	// the textbook recurrence stays the default; the single-reduction
+	// pipelined variant is opt-in (see pipelined.go).
+	DefaultCG CGVariant
 	// Workers is the number of goroutines the CG kernels may use for
 	// solves at or above parallelMinCells cells (0 or 1 = serial). The
 	// kernel pool is started lazily on the first parallel solve and
@@ -106,12 +117,21 @@ type Solver struct {
 	LastIters    int
 	LastResidual float64
 	LastVCycles  int
+	// LastReplacements and LastDriftCorrections report the pipelined
+	// recurrence's drift-control work for the most recent solve: periodic
+	// true-residual replacements, and convergence claims the drift guard
+	// rejected. Both are 0 on the classic path.
+	LastReplacements     int
+	LastDriftCorrections int
 }
 
 // NewSolver assembles the network. The model must Validate cleanly.
 func NewSolver(m *Model) (*Solver, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
+	}
+	if len(m.Layers) > mgMaxLayers {
+		return nil, fmt.Errorf("thermal: model has %d layers, solver supports at most %d", len(m.Layers), mgMaxLayers)
 	}
 	s := &Solver{
 		m:         m,
@@ -161,6 +181,7 @@ func (s *Solver) Clone() *Solver {
 		Hook:           s.Hook,
 		Workers:        s.Workers,
 		DefaultPrecond: s.DefaultPrecond,
+		DefaultCG:      s.DefaultCG,
 		obs:            s.obs,
 	}
 	c.r = make([]float64, c.n)
@@ -296,6 +317,10 @@ func stagnationWindowFor(maxIter int) int {
 // iterate, the residual history and the iteration count — is
 // bitwise-identical for any Workers setting.
 func (s *Solver) cg(ctx context.Context, b, x []float64, shift float64, opts SolveOpts) (iters int, err error) {
+	if s.resolveCG(opts.CG) == CGPipelined {
+		return s.cgPipelined(ctx, b, x, shift, opts)
+	}
+	s.LastReplacements, s.LastDriftCorrections = 0, 0
 	tol := opts.Tol
 	if tol <= 0 {
 		tol = s.Tol
@@ -543,6 +568,10 @@ type SolveOpts struct {
 	// multigrid V-cycle). The Jacobi/MG cross-check tests and the
 	// parbench comparison mode select per solve through here.
 	Precond Precond
+	// CG overrides the CG recurrence for this solve only (CGAuto = use
+	// Solver.DefaultCG, which defaults to the classic recurrence). See
+	// pipelined.go for the single-reduction variant.
+	CG CGVariant
 }
 
 // SteadyStateOpts is SteadyStateCtx with per-solve options.
