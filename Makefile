@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke greens-smoke kernel-smoke obs-smoke resume-smoke profile figures faults-smoke examples clean
+.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke greens-smoke kernel-smoke obs-smoke resume-smoke serve-smoke loadbench profile figures faults-smoke examples clean
 
 all: build vet test
 
@@ -87,6 +87,22 @@ obs-smoke:
 # and (at -workers 1) the combined solver-work counters match exactly.
 resume-smoke:
 	$(GO) run ./cmd/xylem resume-smoke -id 7 -grid 16 -apps lu-nas,fft -instr 60000 -freqs 2.4,3.5 -workers 1 -kill-after 3
+
+# CI gate for the serving daemon: start xylemd in-process with a live
+# metrics sink, fire mixed CG/fast-path traffic through the admission
+# queue → batcher → artifact cache, and fail unless there are zero
+# errors, the cache was reused, batches formed, identical requests got
+# byte-identical bodies, app-mode responses match the figure pipeline,
+# and the serve metrics appear on the Prometheus scrape.
+serve-smoke:
+	$(GO) run ./cmd/xylem serve-smoke -grid 16 -n 24 -width 4
+
+# Serving load benchmark: closed- and open-loop phases with
+# deterministic seeded arrivals and mixed tenants against fresh daemons
+# per cache/batch configuration; writes BENCH_serve.json and (with
+# -check) gates warm batched p50 <= 0.5x cold solo p50.
+loadbench:
+	$(GO) run ./cmd/xylem loadbench -check -grid 24 -n 24 -width 8 -out BENCH_serve.json
 
 # CPU+heap profile of a batched Figure 7 sweep; inspect with
 # `go tool pprof cpu.prof`.

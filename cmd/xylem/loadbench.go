@@ -1,0 +1,475 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/xylem-sim/xylem/internal/ckpt"
+	"github.com/xylem-sim/xylem/internal/fault"
+	"github.com/xylem-sim/xylem/internal/floorplan"
+	"github.com/xylem-sim/xylem/internal/obs"
+	"github.com/xylem-sim/xylem/internal/serve"
+	"github.com/xylem-sim/xylem/internal/stack"
+)
+
+// Deterministic-arrival RNG streams (fault.Unit counterfeit-coherence
+// streams; StreamBackoff=64 is taken, so start well above).
+const (
+	streamLoadPower = 128 // per-request block watts
+	streamLoadMix   = 129 // fastpath coin in the mixed phase
+	streamLoadGaps  = 130 // open-loop exponential inter-arrivals
+)
+
+// reqGen deterministically generates solve requests for the load
+// harness: request j's tenant, power map and fast-path flag are pure
+// functions of (seed, j), so a rerun at the same seed replays the same
+// trace — the property the batch-membership determinism test leans on.
+type reqGen struct {
+	seed    uint64
+	grid    int
+	schemes []string
+	blocks  []string // proc block names, floorplan declaration order
+}
+
+func newReqGen(seed uint64, grid int, schemes []string) (*reqGen, error) {
+	fp, err := floorplan.BuildProcDie(floorplan.DefaultProcConfig())
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([]string, len(fp.Blocks))
+	for i, b := range fp.Blocks {
+		blocks[i] = b.Name
+	}
+	return &reqGen{seed: seed, grid: grid, schemes: schemes, blocks: blocks}, nil
+}
+
+// request builds request j. Total proc power lands around 35 W spread
+// over every floorplan block, plus a lightly powered DRAM die 0 — a
+// mid-range operating point for the default stack.
+func (g *reqGen) request(j int, fastpath bool) *serve.SolveRequest {
+	proc := make(map[string]float64, len(g.blocks))
+	scale := 35.0 / float64(len(g.blocks))
+	for i := range g.blocks {
+		proc[g.blocks[i]] = scale * (0.5 + fault.Unit(g.seed, streamLoadPower, uint64(j), uint64(i)))
+	}
+	return &serve.SolveRequest{
+		Scheme: g.schemes[j%len(g.schemes)],
+		Grid:   g.grid,
+		Mode:   serve.ModePower,
+		Power: &serve.PowerSpec{
+			Proc: proc,
+			DRAM: []serve.DRAMDiePower{{
+				BackgroundW: 0.6,
+				BankW:       [][]float64{{0.15, 0.15}, {0.1, 0.1}},
+			}},
+		},
+		FastPath: fastpath,
+	}
+}
+
+// mixedFast is the open-loop phase's deterministic fast-path coin.
+func (g *reqGen) mixedFast(j int) bool {
+	return fault.Unit(g.seed, streamLoadMix, uint64(j), 0) < 0.5
+}
+
+// postSolve fires one request and returns its latency. Non-2xx statuses
+// come back as errors carrying the wire kind.
+func postSolve(client *http.Client, url string, req *serve.SolveRequest) (latencyMs float64, status int, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	lat := float64(time.Since(t0)) / float64(time.Millisecond)
+	if err != nil {
+		return lat, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb serve.ErrorBody
+		if json.Unmarshal(payload, &eb) == nil && eb.Error != "" {
+			return lat, resp.StatusCode, fmt.Errorf("http %d: %s", resp.StatusCode, eb.Error)
+		}
+		return lat, resp.StatusCode, fmt.Errorf("http %d", resp.StatusCode)
+	}
+	return lat, resp.StatusCode, nil
+}
+
+// loadPhase is one measured traffic pattern in the report.
+type loadPhase struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	Conc     int     `json:"conc"`
+	MaxBatch int     `json:"max_batch"`
+	LingerMs float64 `json:"linger_ms"`
+	FastPath bool    `json:"fastpath,omitempty"`
+	RateRPS  float64 `json:"rate_rps,omitempty"`
+
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	WallS         float64 `json:"wall_s"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Errors        int     `json:"errors"`
+	Rejected429   int     `json:"rejected_429"`
+
+	Server serve.Stats `json:"server"`
+}
+
+// loadbenchReport is BENCH_serve.json: the serving latency distribution
+// under each traffic pattern, and the headline batching + cache wins.
+type loadbenchReport struct {
+	Grid       int      `json:"grid"`
+	Schemes    []string `json:"schemes"`
+	Seed       uint64   `json:"seed"`
+	Workers    int      `json:"workers"`
+	Solvers    int      `json:"solvers"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+
+	Phases []loadPhase `json:"phases"`
+
+	// Headline p50s: cold-solo is the no-cache no-batch denominator
+	// (every request rebuilds stack, hierarchy, scratch); the warm
+	// numbers reuse cached artifacts at increasing batch widths.
+	ColdSoloP50Ms   float64 `json:"cold_solo_p50_ms"`
+	WarmSoloP50Ms   float64 `json:"warm_solo_p50_ms"`
+	WarmBatchP50Ms  float64 `json:"warm_batch_p50_ms"`
+	WarmGreensP50Ms float64 `json:"warm_greens_p50_ms"`
+
+	BatchSpeedup  float64 `json:"batch_speedup"`
+	GreensSpeedup float64 `json:"greens_speedup"`
+
+	// Pass is the acceptance gate: a warm phase at batch width >= 4
+	// (batched CG or cached-basis fast path, whichever the hardware
+	// favours) with p50 at or under half the cold solo p50, and zero
+	// non-429 errors anywhere.
+	Pass bool `json:"pass"`
+}
+
+// percentile returns the p-th (0..1) percentile by nearest-rank on a
+// sorted copy.
+func percentile(ms []float64, p float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	i := int(p*float64(len(s)-1) + 0.5)
+	return s[i]
+}
+
+func meanOf(ms []float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, v := range ms {
+		t += v
+	}
+	return t / float64(len(ms))
+}
+
+// phaseRunner drives one serve.Server instance through one traffic
+// pattern and collects its latencies.
+type phaseRunner struct {
+	gen    *reqGen
+	client *http.Client
+
+	mu    sync.Mutex
+	lats  []float64
+	errs  []error
+	rej   int
+	recs  []string // optional per-request CSV records
+	phase string
+}
+
+func (pr *phaseRunner) fire(url string, j int, fastpath bool) {
+	lat, status, err := postSolve(pr.client, url, pr.gen.request(j, fastpath))
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if status == http.StatusTooManyRequests {
+		pr.rej++
+		return
+	}
+	if err != nil {
+		pr.errs = append(pr.errs, fmt.Errorf("req %d: %w", j, err))
+		return
+	}
+	pr.lats = append(pr.lats, lat)
+	pr.recs = append(pr.recs, fmt.Sprintf("%s,%d,%.3f", pr.phase, j, lat))
+}
+
+// runClosed runs n requests through conc closed-loop clients.
+func (pr *phaseRunner) runClosed(url string, n, conc int, fastpath bool) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				pr.fire(url, j, fastpath)
+			}
+		}()
+	}
+	for j := 0; j < n; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// runOpen fires n requests open-loop at rate RPS with deterministic
+// exponential inter-arrival gaps, mixing fast-path and CG requests.
+func (pr *phaseRunner) runOpen(url string, n int, rate float64) {
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		u := fault.Unit(pr.gen.seed, streamLoadGaps, uint64(j), 0)
+		gap := -math.Log(1-u) / rate
+		time.Sleep(time.Duration(gap * float64(time.Second)))
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			pr.fire(url, j, pr.gen.mixedFast(j))
+		}(j)
+	}
+	wg.Wait()
+}
+
+// benchPhase spins up a fresh daemon with the given knobs, optionally
+// warms its cache (one untimed request per scheme, fast-path included
+// when the timed run uses it, so basis builds land in warmup), runs the
+// traffic, drains, and reports.
+func benchPhase(gen *reqGen, name string, cfg serve.Config, n, conc int, fastpath, warm bool, openRate float64, csv *[]string) (loadPhase, error) {
+	ph := loadPhase{
+		Name:     name,
+		Requests: n,
+		Conc:     conc,
+		MaxBatch: cfg.MaxBatch,
+		LingerMs: float64(cfg.Linger) / float64(time.Millisecond),
+		FastPath: fastpath,
+		RateRPS:  openRate,
+	}
+	srv := serve.New(cfg)
+	if err := srv.Start(); err != nil {
+		return ph, err
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr() + "/v1/solve"
+
+	pr := &phaseRunner{gen: gen, client: &http.Client{Timeout: 10 * time.Minute}, phase: name}
+	if warm {
+		for j := 0; j < len(gen.schemes); j++ {
+			if _, _, err := postSolve(pr.client, url, gen.request(j, false)); err != nil {
+				return ph, fmt.Errorf("%s: warmup req %d: %w", name, j, err)
+			}
+			if fastpath || openRate > 0 {
+				if _, _, err := postSolve(pr.client, url, gen.request(j, true)); err != nil {
+					return ph, fmt.Errorf("%s: warmup fastpath req %d: %w", name, j, err)
+				}
+			}
+		}
+	}
+
+	t0 := time.Now()
+	if openRate > 0 {
+		pr.runOpen(url, n, openRate)
+	} else {
+		pr.runClosed(url, n, conc, fastpath)
+	}
+	ph.WallS = time.Since(t0).Seconds()
+
+	for _, err := range pr.errs {
+		fmt.Fprintf(os.Stderr, "loadbench: %s: %v\n", name, err)
+	}
+	ph.P50Ms = percentile(pr.lats, 0.50)
+	ph.P90Ms = percentile(pr.lats, 0.90)
+	ph.P99Ms = percentile(pr.lats, 0.99)
+	ph.MeanMs = meanOf(pr.lats)
+	if ph.WallS > 0 {
+		ph.ThroughputRPS = float64(len(pr.lats)) / ph.WallS
+	}
+	ph.Errors = len(pr.errs)
+	ph.Rejected429 = pr.rej
+	if csv != nil {
+		*csv = append(*csv, pr.recs...)
+	}
+	ph.Server = srv.Stats()
+	return ph, nil
+}
+
+// cmdLoadbench is the serving gate: a closed- and open-loop load
+// generator with deterministic seeded arrivals and mixed tenants,
+// reporting p50/p99 latency and throughput versus batch width and cache
+// state, written atomically to BENCH_serve.json.
+func cmdLoadbench(args []string) error {
+	fs := flag.NewFlagSet("loadbench", flag.ContinueOnError)
+	grid := fs.Int("grid", 24, "thermal grid resolution")
+	schemesCSV := fs.String("schemes", "base,banke", "comma-separated tenant schemes")
+	n := fs.Int("n", 24, "requests per closed-loop phase")
+	width := fs.Int("width", 8, "max batch width for the batched phases")
+	linger := fs.Duration("linger", 5*time.Millisecond, "batch-formation linger")
+	workers := fs.Int("workers", 0, "CG kernel workers per solver (0 = serial)")
+	solvers := fs.Int("solvers", 2, "concurrent batch executors")
+	seed := fs.Uint64("seed", 1, "arrival/power trace seed")
+	rate := fs.Float64("rate", 25, "open-loop arrival rate, requests/s")
+	out := fs.String("out", "BENCH_serve.json", "report path (atomic write)")
+	csvOut := fs.String("csv", "", "optional per-request latency CSV (phase,seq,ms)")
+	check := fs.Bool("check", false, "exit non-zero unless the batching+cache gate passes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	schemes := strings.Split(*schemesCSV, ",")
+	for _, s := range schemes {
+		if _, ok := stack.ParseScheme(s); !ok {
+			return fmt.Errorf("loadbench: unknown scheme %q", s)
+		}
+	}
+	gen, err := newReqGen(*seed, *grid, schemes)
+	if err != nil {
+		return err
+	}
+
+	base := serve.DefaultConfig()
+	base.Addr = "127.0.0.1:0"
+	base.QueueCap = 4 * *n
+	base.Workers = *workers
+	base.Solvers = *solvers
+	base.Obs = obs.New()
+
+	rep := loadbenchReport{
+		Grid: *grid, Schemes: schemes, Seed: *seed,
+		Workers: *workers, Solvers: *solvers, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	var csv []string
+	csvp := (*[]string)(nil)
+	if *csvOut != "" {
+		csvp = &csv
+	}
+
+	run := func(name string, mutate func(*serve.Config), n, conc int, fastpath, warm bool, openRate float64) (loadPhase, error) {
+		cfg := base
+		cfg.Obs = obs.New()
+		mutate(&cfg)
+		fmt.Fprintf(os.Stderr, "loadbench: phase %s (%d reqs, conc %d, batch %d)...\n", name, n, conc, cfg.MaxBatch)
+		ph, err := benchPhase(gen, name, cfg, n, conc, fastpath, warm, openRate, csvp)
+		if err != nil {
+			return ph, err
+		}
+		rep.Phases = append(rep.Phases, ph)
+		fmt.Fprintf(os.Stderr, "loadbench: phase %s: p50 %.1f ms  p99 %.1f ms  %.1f req/s  (%d errors, %d rejected)\n",
+			name, ph.P50Ms, ph.P99Ms, ph.ThroughputRPS, ph.Errors, ph.Rejected429)
+		return ph, nil
+	}
+
+	// Phase 1: cold solo — cache off, batch off. Every request pays the
+	// full stack + hierarchy build: the denominator.
+	cold, err := run("cold-solo", func(c *serve.Config) { c.CacheCap = 0; c.MaxBatch = 1 }, *n, 1, false, false, 0)
+	if err != nil {
+		return err
+	}
+	// Phase 2: warm solo — cache on, still no batching. Isolates the
+	// artifact-cache win.
+	warmSolo, err := run("warm-solo", func(c *serve.Config) { c.MaxBatch = 1 }, *n, 1, false, true, 0)
+	if err != nil {
+		return err
+	}
+	// Phase 3: warm batched — concurrency equals width so full batches
+	// form (idle bypass off: this phase isolates the batching config,
+	// so every dispatch should wait for width or linger).
+	warmBatch, err := run("warm-batch", func(c *serve.Config) {
+		c.MaxBatch = *width
+		c.Linger = *linger
+		c.IdleBypass = false
+	}, *n, *width, false, true, 0)
+	if err != nil {
+		return err
+	}
+	// Phase 4: warm Green's — the O(blocks) GEMV fast path (basis built
+	// during warmup), same width-8 batching config. Solo closed-loop
+	// clients, like the cold phase, so the comparison is per-request
+	// latency, not CPU timesharing between concurrent clients.
+	warmGreens, err := run("warm-greens", func(c *serve.Config) { c.MaxBatch = *width; c.Linger = *linger }, *n, 1, true, true, 0)
+	if err != nil {
+		return err
+	}
+	// Phase 5: open-loop mixed tenants and paths at the target rate —
+	// the p99-under-load number.
+	if _, err := run("open-mixed", func(c *serve.Config) { c.MaxBatch = *width; c.Linger = *linger }, 2**n, 0, false, true, *rate); err != nil {
+		return err
+	}
+
+	rep.ColdSoloP50Ms = cold.P50Ms
+	rep.WarmSoloP50Ms = warmSolo.P50Ms
+	rep.WarmBatchP50Ms = warmBatch.P50Ms
+	rep.WarmGreensP50Ms = warmGreens.P50Ms
+	if warmBatch.P50Ms > 0 {
+		rep.BatchSpeedup = cold.P50Ms / warmBatch.P50Ms
+	}
+	if warmGreens.P50Ms > 0 {
+		rep.GreensSpeedup = cold.P50Ms / warmGreens.P50Ms
+	}
+	errTotal := 0
+	for _, ph := range rep.Phases {
+		errTotal += ph.Errors
+	}
+	// The gate: some warm configuration at batch width >= 4 must serve a
+	// request in at most half the cold solo path's p50. On multi-core
+	// boxes the batched CG phase can clear it; on small boxes the
+	// cached-basis fast path is the one that does (a CG batch of width k
+	// costs k serial solves of wall on one core, so batching there buys
+	// throughput under overhead, not latency).
+	warmBest := warmBatch.P50Ms
+	if warmGreens.P50Ms > 0 && warmGreens.P50Ms < warmBest {
+		warmBest = warmGreens.P50Ms
+	}
+	rep.Pass = *width >= 4 && errTotal == 0 && warmBest <= 0.5*cold.P50Ms
+
+	if err := ckpt.WriteFileAtomic(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&rep)
+	}); err != nil {
+		return err
+	}
+	if *csvOut != "" {
+		if err := ckpt.WriteFileAtomic(*csvOut, func(w io.Writer) error {
+			if _, err := fmt.Fprintln(w, "phase,seq,ms"); err != nil {
+				return err
+			}
+			for _, rec := range csv {
+				if _, err := fmt.Fprintln(w, rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("loadbench: cold-solo p50 %.1f ms -> warm-batch p50 %.1f ms (%.1fx), warm-greens p50 %.1f ms (%.1fx); report %s\n",
+		rep.ColdSoloP50Ms, rep.WarmBatchP50Ms, rep.BatchSpeedup, rep.WarmGreensP50Ms, rep.GreensSpeedup, *out)
+	if *check && !rep.Pass {
+		return fmt.Errorf("loadbench: gate failed: best warm p50 %.1f ms vs cold-solo p50 %.1f ms (need <= 0.5x), %d errors",
+			warmBest, rep.ColdSoloP50Ms, errTotal)
+	}
+	return nil
+}

@@ -67,6 +67,12 @@ func main() {
 		err = cmdResume(args)
 	case "resume-smoke":
 		err = cmdResumeSmoke(args)
+	case "serve":
+		err = cmdServe(args)
+	case "loadbench":
+		err = cmdLoadbench(args)
+	case "serve-smoke":
+		err = cmdServeSmoke(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -94,6 +100,9 @@ func usage() {
   obs-smoke  run a figure with and without metrics; assert identical tables
   resume     continue an interrupted sweep from its -checkpoint directory
   resume-smoke  kill a sweep at a checkpoint, resume it, assert identical tables
+  serve      run the batching thermal-solve daemon (HTTP/JSON on -addr)
+  loadbench  closed/open-loop load generator against the daemon; writes BENCH_serve.json
+  serve-smoke  end-to-end daemon check: mixed traffic, cache/batch/metrics asserts
 
 Experiment commands accept -metrics-addr HOST:PORT to serve live
 Prometheus/JSON metrics and a trace dump while they run; 'xylem trace

@@ -130,8 +130,8 @@ type parbenchReport struct {
 //  6. mg-pipelined:       Workers=1, multigrid, single-reduction pipelined CG
 //  7. mg-pipelined-batch: Workers=1, multigrid, pipelined CG, batched solves
 //  8. greens:             Workers=1, Green's-function reduced-order serving
-//                         (basis precompute paid before the timer starts
-//                         and reported separately)
+//     (basis precompute paid before the timer starts
+//     and reported separately)
 //
 // Workload activity (the cpusim traces) is identical across all eight —
 // it depends on the simulated architecture, never on the solver — so an
@@ -226,10 +226,10 @@ func cmdParbench(args []string) error {
 			Name: name, Precond: precond, CG: cg, Workers: workers, Batch: batch, Warm: true,
 			WallS: wall.Seconds(), Solves: st.Solves, CGIters: st.SolveIters,
 			VCycles: st.VCycles, Degraded: st.DegradedSolves,
-			IterHist:      st.IterHist.String(),
-			Replacements:  st.ResidualReplacements, DriftCorrections: st.DriftCorrections,
+			IterHist:     st.IterHist.String(),
+			Replacements: st.ResidualReplacements, DriftCorrections: st.DriftCorrections,
 			BatchedSolves: st.BatchedSolves, DeflatedColumns: st.DeflatedColumns,
-			GreensHits:    st.GreensHits, GreensMisses: st.GreensMisses,
+			GreensHits: st.GreensHits, GreensMisses: st.GreensMisses,
 			BasisBuilds: st.BasisBuilds, BasisBuildS: basisWall.Seconds(),
 		}
 		if st.BatchedSolves > 0 {

@@ -2,9 +2,13 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+
+	"github.com/xylem-sim/xylem/internal/ckpt"
 )
 
 // profileStop, when non-nil, finishes profiling: it stops the CPU
@@ -14,18 +18,26 @@ var profileStop func() error
 
 // startProfiles begins CPU profiling and/or arranges a heap snapshot at
 // exit, per the -cpuprofile/-memprofile flags. Empty paths are no-ops.
+//
+// Both profiles reach their destination atomically. The heap snapshot
+// is rendered at stop time, so it goes straight through
+// ckpt.WriteFileAtomic; the CPU profile must stream while the command
+// runs, so it streams into a temp file in the destination directory and
+// is fsync+renamed into place at stop — a crash mid-run leaves only the
+// temp file, never a truncated profile under the requested name.
 func startProfiles(cpuPath, memPath string) error {
 	if cpuPath == "" && memPath == "" {
 		return nil
 	}
 	var cpuFile *os.File
 	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
+		f, err := os.CreateTemp(filepath.Dir(cpuPath), "."+filepath.Base(cpuPath)+".tmp-*")
 		if err != nil {
 			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
+			os.Remove(f.Name())
 			return err
 		}
 		cpuFile = f
@@ -33,19 +45,27 @@ func startProfiles(cpuPath, memPath string) error {
 	profileStop = func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
+			tmpName := cpuFile.Name()
+			if err := cpuFile.Sync(); err != nil {
+				cpuFile.Close()
+				os.Remove(tmpName)
+				return err
+			}
 			if err := cpuFile.Close(); err != nil {
+				os.Remove(tmpName)
+				return err
+			}
+			if err := os.Rename(tmpName, cpuPath); err != nil {
+				os.Remove(tmpName)
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "xylem: wrote CPU profile to %s\n", cpuPath)
 		}
 		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
 			runtime.GC() // flush garbage so the snapshot shows live heap
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			if err := ckpt.WriteFileAtomic(memPath, func(w io.Writer) error {
+				return pprof.Lookup("heap").WriteTo(w, 0)
+			}); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "xylem: wrote heap profile to %s\n", memPath)

@@ -271,15 +271,15 @@ func (e *Evaluator) Stats() Stats {
 		VCycles:              m.vcycles.Value(),
 		ResidualReplacements: m.residualRepl.Value(),
 		DriftCorrections:     m.driftCorr.Value(),
-		IterHist:        iterHistFromObs(m.iterHist),
-		DegradedSolves:  degraded,
-		BatchedSolves:   int(m.batchedSolves.Value()),
-		BatchedColumns:  m.batchedColumns.Value(),
-		DeflatedColumns: m.deflatedCols.Value(),
-		BatchOcc:        iterHistFromObs(m.batchOcc),
-		GreensHits:      int(m.greensHits.Value()),
-		GreensMisses:    int(m.greensMisses.Value()),
-		BasisBuilds:     int(m.basisBuilds.Value()),
+		IterHist:             iterHistFromObs(m.iterHist),
+		DegradedSolves:       degraded,
+		BatchedSolves:        int(m.batchedSolves.Value()),
+		BatchedColumns:       m.batchedColumns.Value(),
+		DeflatedColumns:      m.deflatedCols.Value(),
+		BatchOcc:             iterHistFromObs(m.batchOcc),
+		GreensHits:           int(m.greensHits.Value()),
+		GreensMisses:         int(m.greensMisses.Value()),
+		BasisBuilds:          int(m.basisBuilds.Value()),
 	}
 }
 
@@ -293,13 +293,13 @@ func (s Stats) Sub(prev Stats) Stats {
 		VCycles:              s.VCycles - prev.VCycles,
 		ResidualReplacements: s.ResidualReplacements - prev.ResidualReplacements,
 		DriftCorrections:     s.DriftCorrections - prev.DriftCorrections,
-		DegradedSolves:  s.DegradedSolves - prev.DegradedSolves,
-		BatchedSolves:   s.BatchedSolves - prev.BatchedSolves,
-		BatchedColumns:  s.BatchedColumns - prev.BatchedColumns,
-		DeflatedColumns: s.DeflatedColumns - prev.DeflatedColumns,
-		GreensHits:      s.GreensHits - prev.GreensHits,
-		GreensMisses:    s.GreensMisses - prev.GreensMisses,
-		BasisBuilds:     s.BasisBuilds - prev.BasisBuilds,
+		DegradedSolves:       s.DegradedSolves - prev.DegradedSolves,
+		BatchedSolves:        s.BatchedSolves - prev.BatchedSolves,
+		BatchedColumns:       s.BatchedColumns - prev.BatchedColumns,
+		DeflatedColumns:      s.DeflatedColumns - prev.DeflatedColumns,
+		GreensHits:           s.GreensHits - prev.GreensHits,
+		GreensMisses:         s.GreensMisses - prev.GreensMisses,
+		BasisBuilds:          s.BasisBuilds - prev.BasisBuilds,
 	}
 	for k := range d.IterHist {
 		d.IterHist[k] = s.IterHist[k] - prev.IterHist[k]
@@ -319,13 +319,13 @@ func (s Stats) Add(o Stats) Stats {
 		VCycles:              s.VCycles + o.VCycles,
 		ResidualReplacements: s.ResidualReplacements + o.ResidualReplacements,
 		DriftCorrections:     s.DriftCorrections + o.DriftCorrections,
-		DegradedSolves:  s.DegradedSolves + o.DegradedSolves,
-		BatchedSolves:   s.BatchedSolves + o.BatchedSolves,
-		BatchedColumns:  s.BatchedColumns + o.BatchedColumns,
-		DeflatedColumns: s.DeflatedColumns + o.DeflatedColumns,
-		GreensHits:      s.GreensHits + o.GreensHits,
-		GreensMisses:    s.GreensMisses + o.GreensMisses,
-		BasisBuilds:     s.BasisBuilds + o.BasisBuilds,
+		DegradedSolves:       s.DegradedSolves + o.DegradedSolves,
+		BatchedSolves:        s.BatchedSolves + o.BatchedSolves,
+		BatchedColumns:       s.BatchedColumns + o.BatchedColumns,
+		DeflatedColumns:      s.DeflatedColumns + o.DeflatedColumns,
+		GreensHits:           s.GreensHits + o.GreensHits,
+		GreensMisses:         s.GreensMisses + o.GreensMisses,
+		BasisBuilds:          s.BasisBuilds + o.BasisBuilds,
 	}
 	for k := range t.IterHist {
 		t.IterHist[k] = s.IterHist[k] + o.IterHist[k]

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/xylem-sim/xylem/internal/stack"
+)
+
+// traceEvent is one synthetic arrival: dt after the previous event, on
+// the given tenant.
+type traceEvent struct {
+	dt time.Duration
+	tk tenantKey
+}
+
+// replay runs a synthetic arrival trace through a planner with an
+// injected clock and returns the dispatched batches as strings of
+// member sequence numbers. Between arrivals it fires every linger
+// deadline that falls inside the gap, exactly as the dispatcher's timer
+// would.
+func replay(maxWidth int, linger time.Duration, trace []traceEvent) []string {
+	pl := newPlanner(maxWidth, linger)
+	now := time.Unix(0, 0)
+	var out []string
+	emit := func(bs ...[]*pending) {
+		for _, b := range bs {
+			s := ""
+			for _, pd := range b {
+				s += fmt.Sprintf("%d/%s.%d ", pd.seq, pd.tk.scheme, pd.tk.grid)
+			}
+			out = append(out, s)
+		}
+	}
+	for i, ev := range trace {
+		target := now.Add(ev.dt)
+		// Fire every deadline that expires before this arrival, in order.
+		for {
+			dl, ok := pl.next()
+			if !ok || dl.After(target) {
+				break
+			}
+			emit(pl.expired(dl)...)
+		}
+		now = target
+		pd := &pending{tk: ev.tk, seq: uint64(i + 1), enq: now}
+		if b := pl.add(pd, now); b != nil {
+			emit(b)
+		}
+	}
+	emit(pl.flush()...)
+	return out
+}
+
+// syntheticTrace is a fixed mixed-tenant arrival pattern: a burst that
+// fills a batch, stragglers that linger out, and an interleaved second
+// tenant.
+func syntheticTrace() []traceEvent {
+	base := tenantKey{scheme: stack.Base, grid: 16}
+	banke := tenantKey{scheme: stack.BankE, grid: 16}
+	other := tenantKey{scheme: stack.Base, grid: 24}
+	return []traceEvent{
+		{0, base}, {1 * time.Millisecond, base}, {0, banke},
+		{1 * time.Millisecond, base}, {0, base}, // base fills width 4 here
+		{2 * time.Millisecond, banke},
+		{20 * time.Millisecond, other}, // banke lingers out during this gap
+		{1 * time.Millisecond, other},
+		{30 * time.Millisecond, base}, // other lingers out; base left to flush
+	}
+}
+
+func TestPlannerMembershipDeterministic(t *testing.T) {
+	a := replay(4, 10*time.Millisecond, syntheticTrace())
+	b := replay(4, 10*time.Millisecond, syntheticTrace())
+	if len(a) == 0 {
+		t.Fatal("no batches dispatched")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("replayed trace formed different batches:\n  %v\n  %v", a, b)
+	}
+	// Pin the membership: the base burst fills width 4, banke's pair
+	// lingers out together, the grid-24 pair lingers out, the last base
+	// arrival flushes solo.
+	want := []string{
+		"1/base.16 2/base.16 4/base.16 5/base.16 ",
+		"3/banke.16 6/banke.16 ",
+		"7/base.24 8/base.24 ",
+		"9/base.16 ",
+	}
+	if fmt.Sprint(a) != fmt.Sprint(want) {
+		t.Fatalf("batch membership drifted:\n got %v\nwant %v", a, want)
+	}
+}
+
+// TestPlannerLingerBound checks the starvation bound: a solo request's
+// group dispatches no later than its arrival plus the linger budget.
+func TestPlannerLingerBound(t *testing.T) {
+	const linger = 7 * time.Millisecond
+	pl := newPlanner(8, linger)
+	now := time.Unix(100, 0)
+	if b := pl.add(&pending{tk: tenantKey{scheme: stack.Base, grid: 16}, seq: 1}, now); b != nil {
+		t.Fatal("solo request dispatched before linger with width 8")
+	}
+	dl, ok := pl.next()
+	if !ok {
+		t.Fatal("no deadline while a group is forming")
+	}
+	if want := now.Add(linger); dl.After(want) {
+		t.Fatalf("deadline %v exceeds arrival+linger %v", dl, want)
+	}
+	if got := pl.expired(dl.Add(-time.Nanosecond)); len(got) != 0 {
+		t.Fatal("group expired before its deadline")
+	}
+	got := pl.expired(dl)
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0].seq != 1 {
+		t.Fatalf("expected the solo request at its deadline, got %v", got)
+	}
+	if pl.depth() != 0 {
+		t.Fatal("planner not empty after dispatch")
+	}
+}
+
+// TestPlannerLateJoinKeepsDeadline checks that joining an open group
+// does not extend the oldest member's wait.
+func TestPlannerLateJoinKeepsDeadline(t *testing.T) {
+	const linger = 10 * time.Millisecond
+	pl := newPlanner(8, linger)
+	tk := tenantKey{scheme: stack.Base, grid: 16}
+	t0 := time.Unix(0, 0)
+	pl.add(&pending{tk: tk, seq: 1}, t0)
+	pl.add(&pending{tk: tk, seq: 2}, t0.Add(8*time.Millisecond))
+	dl, _ := pl.next()
+	if want := t0.Add(linger); !dl.Equal(want) {
+		t.Fatalf("deadline moved to %v after a late join; want %v", dl, want)
+	}
+	b := pl.expired(dl)
+	if len(b) != 1 || len(b[0]) != 2 {
+		t.Fatalf("expected one batch of 2 at the original deadline, got %v", b)
+	}
+}
+
+func TestPlannerWidthOne(t *testing.T) {
+	pl := newPlanner(1, time.Hour)
+	b := pl.add(&pending{tk: tenantKey{scheme: stack.Base, grid: 16}, seq: 1}, time.Unix(0, 0))
+	if len(b) != 1 {
+		t.Fatalf("width 1 must dispatch immediately, got %v", b)
+	}
+}

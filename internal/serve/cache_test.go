@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/xylem-sim/xylem/internal/stack"
+)
+
+func testMetrics() *metricsSet { return newMetricsSet(nil) }
+
+func tkN(i int) tenantKey { return tenantKey{scheme: stack.Base, grid: 8 + i} }
+
+// TestCacheSingleflight checks that concurrent misses on one tenant
+// build exactly once, every caller gets the same entry, and exactly one
+// caller is charged the miss.
+func TestCacheSingleflight(t *testing.T) {
+	var builds atomic.Int64
+	release := make(chan struct{})
+	c := newArtifactCache(4, testMetrics(), func(tk tenantKey) (*Entry, error) {
+		builds.Add(1)
+		<-release // hold every concurrent getter in the same flight
+		return &Entry{ContentKey: fmt.Sprintf("ck-%d", tk.grid)}, nil
+	})
+
+	const n = 16
+	ents := make([]*Entry, n)
+	hits := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ent, hit, err := c.get(context.Background(), tkN(0))
+			if err != nil {
+				t.Error(err)
+			}
+			ents[i], hits[i] = ent, hit
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let every getter join the flight
+	close(release)
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d builds for %d concurrent gets; want 1", got, n)
+	}
+	misses := 0
+	for i := 0; i < n; i++ {
+		if ents[i] != ents[0] {
+			t.Fatal("getters received different entries")
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d getters charged the miss; want exactly 1 (the builder)", misses)
+	}
+}
+
+// TestCacheLRUEviction checks capacity enforcement and LRU victim
+// selection under the tenant → content-key indirection.
+func TestCacheLRUEviction(t *testing.T) {
+	var builds atomic.Int64
+	c := newArtifactCache(2, testMetrics(), func(tk tenantKey) (*Entry, error) {
+		builds.Add(1)
+		return &Entry{ContentKey: fmt.Sprintf("ck-%d", tk.grid)}, nil
+	})
+	ctx := context.Background()
+	mustGet := func(i int) bool {
+		t.Helper()
+		_, hit, err := c.get(ctx, tkN(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+
+	mustGet(0) // build 0
+	mustGet(1) // build 1
+	if !mustGet(0) {
+		t.Fatal("tenant 0 evicted below capacity")
+	}
+	mustGet(2) // build 2 -> evicts tenant 1 (LRU; 0 was just touched)
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries; cap is 2", c.len())
+	}
+	if !mustGet(0) {
+		t.Fatal("tenant 0 lost despite being most recently used")
+	}
+	if mustGet(1) {
+		t.Fatal("tenant 1 still cached after eviction")
+	}
+	if got := builds.Load(); got != 4 {
+		t.Fatalf("%d builds; want 4 (three cold + one re-build of the victim)", got)
+	}
+}
+
+// TestCacheFailedBuildRetries checks that a failed build is not cached:
+// the next get retries instead of replaying the error.
+func TestCacheFailedBuildRetries(t *testing.T) {
+	var builds atomic.Int64
+	c := newArtifactCache(2, testMetrics(), func(tk tenantKey) (*Entry, error) {
+		if builds.Add(1) == 1 {
+			return nil, fmt.Errorf("transient")
+		}
+		return &Entry{ContentKey: "ck"}, nil
+	})
+	ctx := context.Background()
+	if _, _, err := c.get(ctx, tkN(0)); err == nil {
+		t.Fatal("first get should fail")
+	}
+	if _, hit, err := c.get(ctx, tkN(0)); err != nil || hit {
+		t.Fatalf("retry after failed build: hit=%v err=%v; want a fresh miss", hit, err)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("%d builds; want 2", builds.Load())
+	}
+}
+
+// TestCacheCapZeroBuildsFresh checks the cold-path mode: capacity 0
+// never reuses artifacts.
+func TestCacheCapZeroBuildsFresh(t *testing.T) {
+	var builds atomic.Int64
+	c := newArtifactCache(0, testMetrics(), func(tk tenantKey) (*Entry, error) {
+		builds.Add(1)
+		return &Entry{ContentKey: "ck"}, nil
+	})
+	for i := 0; i < 3; i++ {
+		if _, hit, err := c.get(context.Background(), tkN(0)); err != nil || hit {
+			t.Fatalf("cap 0: hit=%v err=%v; want misses only", hit, err)
+		}
+	}
+	if builds.Load() != 3 {
+		t.Fatalf("%d builds; want 3", builds.Load())
+	}
+}

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/xylem-sim/xylem/internal/fault"
+	"github.com/xylem-sim/xylem/internal/floorplan"
+	"github.com/xylem-sim/xylem/internal/obs"
+)
+
+// testGrid keeps solver work small: the identity tests care about
+// bytes, not thermal fidelity.
+const testGrid = 8
+
+// testRequest builds a deterministic explicit-power request; j varies
+// the per-block watts so distinct j are distinct solves.
+func testRequest(t *testing.T, j int) *SolveRequest {
+	t.Helper()
+	fp, err := floorplan.BuildProcDie(floorplan.DefaultProcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := make(map[string]float64, len(fp.Blocks))
+	scale := 30.0 / float64(len(fp.Blocks))
+	for i, b := range fp.Blocks {
+		proc[b.Name] = scale * (0.5 + fault.Unit(7, 1, uint64(j), uint64(i)))
+	}
+	return &SolveRequest{
+		Scheme: "base",
+		Grid:   testGrid,
+		Mode:   ModePower,
+		Power: &PowerSpec{
+			Proc: proc,
+			DRAM: []DRAMDiePower{{BackgroundW: 0.4, BankW: [][]float64{{0.1, 0.2}}}},
+		},
+	}
+}
+
+// startTestServer brings up a full daemon on a loopback port and tears
+// it down with the test.
+func startTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Addr = "127.0.0.1:0"
+	cfg.Solvers = 1
+	mutate(&cfg)
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// post fires req and returns the response.
+func post(t *testing.T, url string, req *SolveRequest) (*http.Response, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func solveURL(s *Server) string { return "http://" + s.Addr() + "/v1/solve" }
+
+// TestByteIdentityAcrossCacheAndBatch pins the determinism contract:
+// one request's body is byte-identical whether it was served cold (no
+// cache, no batching), from a cache hit, or inside a width-4 batch.
+func TestByteIdentityAcrossCacheAndBatch(t *testing.T) {
+	target := testRequest(t, 0)
+
+	cold := startTestServer(t, func(c *Config) { c.CacheCap = 0; c.MaxBatch = 1 })
+	resp, coldBody := post(t, solveURL(cold), target)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold solve: status %d: %s", resp.StatusCode, coldBody)
+	}
+	if got := resp.Header.Get("X-Xylem-Cache"); got != "miss" {
+		t.Fatalf("cold solve reported cache %q", got)
+	}
+
+	warm := startTestServer(t, func(c *Config) { c.MaxBatch = 1 })
+	_, first := post(t, solveURL(warm), target)
+	resp, hitBody := post(t, solveURL(warm), target)
+	if got := resp.Header.Get("X-Xylem-Cache"); got != "hit" {
+		t.Fatalf("second request reported cache %q; want hit", got)
+	}
+	if !bytes.Equal(first, hitBody) {
+		t.Fatal("cache hit body differs from the miss body")
+	}
+	if !bytes.Equal(coldBody, hitBody) {
+		t.Fatal("warm-cache body differs from cold-path body")
+	}
+
+	batch := startTestServer(t, func(c *Config) {
+		c.MaxBatch = 4
+		c.Linger = time.Second // batch dispatches on width, not linger
+		c.IdleBypass = false   // force full-width formation even when idle
+	})
+	var (
+		mu      sync.Mutex
+		bodies  = map[int][]byte{}
+		widths  = map[int]string{}
+		wg      sync.WaitGroup
+		reqs    = []*SolveRequest{target, testRequest(t, 1), testRequest(t, 2), testRequest(t, 3)}
+		statuss = map[int]int{}
+	)
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r *SolveRequest) {
+			defer wg.Done()
+			resp, body := post(t, solveURL(batch), r)
+			mu.Lock()
+			defer mu.Unlock()
+			bodies[i], widths[i], statuss[i] = body, resp.Header.Get("X-Xylem-Batch-Width"), resp.StatusCode
+		}(i, r)
+	}
+	wg.Wait()
+	for i := range reqs {
+		if statuss[i] != http.StatusOK {
+			t.Fatalf("batched request %d: status %d: %s", i, statuss[i], bodies[i])
+		}
+		if widths[i] != "4" {
+			t.Fatalf("batched request %d dispatched at width %s; want 4", i, widths[i])
+		}
+	}
+	if !bytes.Equal(bodies[0], coldBody) {
+		t.Fatal("width-4 batched body differs from solo cold body")
+	}
+}
+
+// TestByteIdentityGreens pins the fast path: the response that paid for
+// the basis build and a later cache-hit GEMV answer are byte-identical.
+func TestByteIdentityGreens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("basis build in -short")
+	}
+	s := startTestServer(t, func(c *Config) { c.MaxBatch = 1 })
+	req := testRequest(t, 0)
+	req.FastPath = true
+	resp, first := post(t, solveURL(s), req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fast-path solve: status %d: %s", resp.StatusCode, first)
+	}
+	resp, second := post(t, solveURL(s), req)
+	if got := resp.Header.Get("X-Xylem-Cache"); got != "hit" {
+		t.Fatalf("repeat fast-path request reported cache %q", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("fast-path bodies differ between basis build and warm GEMV")
+	}
+}
+
+// TestOverloadRejection checks the typed 429: queue full (no dispatcher
+// draining it) must reject with Retry-After and the wire error body.
+func TestOverloadRejection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueCap = 0 // nothing can be admitted without a ready dispatcher
+	cfg.RetryAfter = 2 * time.Second
+	cfg.Obs = obs.New()
+	s := New(cfg) // workers deliberately not started
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts.URL+"/v1/solve", testRequest(t, 0))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d; want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q; want \"2\"", got)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("429 body not JSON: %v: %s", err, body)
+	}
+	if eb.Kind != "overload" || eb.RetryAfterS != 2 {
+		t.Fatalf("429 body %+v; want kind overload, retry_after_s 2", eb)
+	}
+	if st := s.Stats(); st.RejectedOverload != 1 {
+		t.Fatalf("rejected_overload %d; want 1", st.RejectedOverload)
+	}
+}
+
+// TestDrainingRejection checks the shutdown path's 503s on both the
+// solve and health endpoints.
+func TestDrainingRejection(t *testing.T) {
+	s := New(DefaultConfig()) // workers not started; drain flips the flag
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.beginDrain()
+
+	resp, body := post(t, ts.URL+"/v1/solve", testRequest(t, 0))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve during drain: status %d; want 503", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Kind != "draining" {
+		t.Fatalf("drain body %s (err %v); want kind draining", body, err)
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: status %d; want 503", hr.StatusCode)
+	}
+}
+
+// TestGracefulDrainAnswersQueued checks that Shutdown solves what was
+// already admitted: a request in flight when drain begins still gets
+// its 200.
+func TestGracefulDrainAnswersQueued(t *testing.T) {
+	s := startTestServer(t, func(c *Config) {
+		c.MaxBatch = 4
+		c.Linger = 30 * time.Second // only drain's flush can dispatch it
+		c.IdleBypass = false
+	})
+	type res struct {
+		status int
+		body   []byte
+	}
+	ch := make(chan res, 1)
+	go func() {
+		resp, body := post(t, solveURL(s), testRequest(t, 0))
+		ch <- res{resp.StatusCode, body}
+	}()
+	// Wait until the request is parked in batch formation, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Requests == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let it reach the planner
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	r := <-ch
+	if r.status != http.StatusOK {
+		t.Fatalf("drained request: status %d: %s", r.status, r.body)
+	}
+}
+
+// TestValidationErrors checks the 400 mapping for a spread of bad
+// requests, including unknown floorplan references (the stateful half).
+func TestValidationErrors(t *testing.T) {
+	s := startTestServer(t, func(c *Config) {})
+	cases := []struct {
+		name   string
+		mutate func(*SolveRequest)
+	}{
+		{"unknown scheme", func(r *SolveRequest) { r.Scheme = "nope" }},
+		{"grid too small", func(r *SolveRequest) { r.Grid = 4 }},
+		{"grid too large", func(r *SolveRequest) { r.Grid = 4096 }},
+		{"bad mode", func(r *SolveRequest) { r.Mode = "warp" }},
+		{"no power", func(r *SolveRequest) { r.Power = nil }},
+		{"app in power mode", func(r *SolveRequest) { r.App = &AppSpec{Name: "lu-nas", FreqGHz: 2} }},
+		{"unknown block", func(r *SolveRequest) { r.Power.Proc["not_a_block"] = 1 }},
+		{"unknown bank", func(r *SolveRequest) { r.Power.DRAM[0].BankW = [][]float64{{0}, {0}, {0}, {0}, {0, 0, 0, 0, 1}} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := testRequest(t, 0)
+			tc.mutate(req)
+			resp, body := post(t, solveURL(s), req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d; want 400: %s", resp.StatusCode, body)
+			}
+			var eb ErrorBody
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Kind != "bad_request" {
+				t.Fatalf("body %s (err %v); want kind bad_request", body, err)
+			}
+		})
+	}
+	// Unknown JSON fields are 400s too (DisallowUnknownFields).
+	resp, _ := postJSON(t, solveURL(s), []byte(`{"scheme":"base","powerz":{}}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d; want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, solveURL(s), []byte(`{`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body: status %d; want 400", resp.StatusCode)
+	}
+}
+
+func postJSON(t *testing.T, url string, payload []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestStatusForTaxonomy pins the fault-taxonomy → HTTP mapping.
+func TestStatusForTaxonomy(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		kind   string
+	}{
+		{ErrOverload, http.StatusTooManyRequests, "overload"},
+		{ErrDraining, http.StatusServiceUnavailable, "draining"},
+		{badReq("f", "x"), http.StatusBadRequest, "bad_request"},
+		{fault.ErrBadPower, http.StatusBadRequest, "bad_request"},
+		{fault.ErrBadTemp, http.StatusBadRequest, "bad_request"},
+		{fault.ErrDiverged, http.StatusUnprocessableEntity, "diverged"},
+		{fault.ErrBudget, http.StatusUnprocessableEntity, "diverged"},
+		{fmt.Errorf("wrapped: %w", fault.ErrDiverged), http.StatusUnprocessableEntity, "diverged"},
+		{io.ErrUnexpectedEOF, http.StatusInternalServerError, "internal"},
+	}
+	for _, tc := range cases {
+		status, kind := statusFor(tc.err)
+		if status != tc.status || kind != tc.kind {
+			t.Errorf("statusFor(%v) = (%d, %s); want (%d, %s)", tc.err, status, kind, tc.status, tc.kind)
+		}
+	}
+}

@@ -35,11 +35,11 @@ func (s *Solver) AttachObs(r *obs.Registry) {
 		return
 	}
 	s.obs = &solverObs{
-		solves:     r.Counter("xylem_thermal_solves_total"),
-		failures:   r.Counter("xylem_thermal_solve_failures_total"),
-		iters:      r.Histogram("xylem_thermal_cg_iters", obs.PowerOfTwoBounds(15)),
-		vcycles:    r.Histogram("xylem_thermal_vcycles", obs.PowerOfTwoBounds(12)),
-		residual:   r.Gauge("xylem_thermal_last_residual"),
+		solves:       r.Counter("xylem_thermal_solves_total"),
+		failures:     r.Counter("xylem_thermal_solve_failures_total"),
+		iters:        r.Histogram("xylem_thermal_cg_iters", obs.PowerOfTwoBounds(15)),
+		vcycles:      r.Histogram("xylem_thermal_vcycles", obs.PowerOfTwoBounds(12)),
+		residual:     r.Gauge("xylem_thermal_last_residual"),
 		batches:      r.Counter("xylem_thermal_batch_solves_total"),
 		batchWidth:   r.Histogram("xylem_thermal_batch_width", obs.PowerOfTwoBounds(8)),
 		deflations:   r.Counter("xylem_thermal_batch_deflations_total"),
