@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke greens-smoke kernel-smoke obs-smoke resume-smoke serve-smoke loadbench profile figures faults-smoke examples clean
+.PHONY: all build test test-fast vet race bench bench-full bench-smoke bench-parallel mg-smoke batch-smoke greens-smoke kernel-smoke obs-smoke resume-smoke serve-smoke fleet-smoke loadbench profile figures faults-smoke examples clean
 
 all: build vet test
 
@@ -96,6 +96,13 @@ resume-smoke:
 # and the serve metrics appear on the Prometheus scrape.
 serve-smoke:
 	$(GO) run ./cmd/xylem serve-smoke -grid 16 -n 24 -width 4
+
+# CI gate for the fleet replay engine: run a small seeded replay
+# uninterrupted, rerun it with checkpoints and a crash injected at the
+# second snapshot, resume at a different worker/batch setting, and fail
+# unless the two final fleet reports are byte-identical.
+fleet-smoke:
+	$(GO) run ./cmd/xylem fleet-smoke -stacks 16 -events 64 -seed 7
 
 # Serving load benchmark: closed- and open-loop phases with
 # deterministic seeded arrivals and mixed tenants against fresh daemons

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/xylem-sim/xylem/internal/config"
+	"github.com/xylem-sim/xylem/internal/dtm"
+	"github.com/xylem-sim/xylem/internal/fleet"
+)
+
+// fleetFlags registers the fleet replay flags on fs and returns a
+// closure that builds the Config after parsing.
+func fleetFlags(fs *flag.FlagSet) func() (fleet.Config, error) {
+	def := fleet.DefaultConfig()
+	stacks := fs.Int("stacks", def.Stacks, "modeled stacks in the fleet")
+	events := fs.Int("events", def.Events, "total control events to replay")
+	shape := fs.String("shape", def.Shape.String(), "traffic shape: diurnal, bursty, flash, failover, or mixed")
+	seed := fs.Uint64("seed", def.Seed, "replay seed (traces, faults, app churn)")
+	period := fs.Float64("period", def.PeriodMs, "control period on the virtual clock (ms)")
+	phases := fs.Int("phases", def.Phases, "phase cohorts (stacks in a cohort fall due together)")
+	policy := fs.String("policy", "guarded", "sensor policy: guarded or naive")
+	guard := fs.Float64("guard", def.GuardC, "guard band in °C")
+	apps := fs.String("apps", strings.Join(def.Apps, ","), "comma-separated application pool")
+	instr := fs.Int("instr", def.Instructions, "per-thread instruction budget")
+	grid := fs.Int("grid", def.Grid, "thermal grid resolution (NxN)")
+	schemeName := fs.String("scheme", "base", "scheme: base|bank|banke|isoCount|prior")
+	batch := fs.Int("batch", def.BatchWidth, "multi-RHS thermal batch width")
+	workers := fs.Int("workers", 0, "solver workers and batch-group dispatch width (0 = 1)")
+	slo := fs.Float64("slo", def.SLOMs, "served-latency objective (ms)")
+	dropout := fs.Float64("dropout", def.Fault.SensorDropoutRate, "per-read sensor dropout rate")
+	solverFault := fs.Float64("solverfault", def.Fault.SolverDivergeRate, "per-solve injected solver fault rate")
+	checkpoint := fs.String("checkpoint", "", "persist crash-safe replay snapshots in this directory")
+	resume := fs.Bool("resume", false, "resume the replay from the -checkpoint directory")
+	ckptEvery := fs.Int("ckpt-every", def.CkptEveryRounds, "rounds between checkpoint snapshots")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (empty = off)")
+	return func() (fleet.Config, error) {
+		cfg := def
+		cfg.Stacks, cfg.Events, cfg.Seed = *stacks, *events, *seed
+		cfg.PeriodMs, cfg.Phases = *period, *phases
+		cfg.GuardC, cfg.Instructions, cfg.Grid = *guard, *instr, *grid
+		cfg.BatchWidth, cfg.Workers, cfg.SLOMs = *batch, *workers, *slo
+		cfg.Checkpoint, cfg.Resume, cfg.CkptEveryRounds = *checkpoint, *resume, *ckptEvery
+		cfg.Fault.SensorDropoutRate = *dropout
+		cfg.Fault.SolverDivergeRate = *solverFault
+		cfg.Fault.SolverBudgetRate = *solverFault
+		var err error
+		if cfg.Shape, err = fleet.ParseShape(*shape); err != nil {
+			return cfg, err
+		}
+		switch *policy {
+		case "guarded":
+			cfg.Policy = dtm.GuardedPolicy
+		case "naive":
+			cfg.Policy = dtm.NaivePolicy
+		default:
+			return cfg, fmt.Errorf("fleet: unknown policy %q (guarded, naive)", *policy)
+		}
+		if cfg.Scheme, err = config.BuildScheme(*schemeName); err != nil {
+			return cfg, err
+		}
+		if *apps != "" {
+			cfg.Apps = strings.Split(*apps, ",")
+		}
+		if *resume && *checkpoint == "" {
+			return cfg, fmt.Errorf("fleet: -resume requires -checkpoint DIR")
+		}
+		if cfg.Obs, err = startMetrics(*metricsAddr); err != nil {
+			return cfg, err
+		}
+		return cfg, nil
+	}
+}
+
+func cmdFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	build := fleetFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := build()
+	if err != nil {
+		return err
+	}
+	e, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := e.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	return nil
+}
+
+// cmdFleetSmoke is the end-to-end determinism gate: replay a small
+// fleet uninterrupted, then replay the same fleet with checkpoints and
+// a crash injected at the second snapshot, resume it at a different
+// worker/batch setting, and require the two final reports to be
+// byte-identical.
+func cmdFleetSmoke(args []string) error {
+	fs := flag.NewFlagSet("fleet-smoke", flag.ContinueOnError)
+	stacks := fs.Int("stacks", 16, "modeled stacks")
+	events := fs.Int("events", 64, "control events to replay")
+	seed := fs.Uint64("seed", 7, "replay seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := fleet.DefaultConfig()
+	cfg.Grid = 8
+	cfg.Stacks, cfg.Events, cfg.Seed = *stacks, *events, *seed
+	cfg.Apps = []string{"fft"}
+	cfg.Instructions = 4000
+	cfg.BatchWidth = 4
+	cfg.Fault.SensorDropoutRate = 0.05
+	cfg.Fault.SolverDivergeRate = 0.05
+
+	run := func(c fleet.Config) (string, error) {
+		e, err := fleet.New(c)
+		if err != nil {
+			return "", err
+		}
+		return e.Run(context.Background())
+	}
+
+	want, err := run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uninterrupted replay:\n%s", want)
+
+	dir, err := os.MkdirTemp("", "xylem-fleet-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	killed := cfg
+	killed.Checkpoint = dir
+	killed.CkptEveryRounds = 1
+	killed.KillAfterSaves = 2
+	if _, err := run(killed); !errors.Is(err, fleet.ErrKilled) {
+		return fmt.Errorf("fleet-smoke: crash hook returned %v, want ErrKilled", err)
+	}
+	fmt.Println("killed at second snapshot; resuming with workers=4 batch=8")
+
+	resumed := killed
+	resumed.KillAfterSaves = 0
+	resumed.Resume = true
+	resumed.Workers = 4
+	resumed.BatchWidth = 8
+	got, err := run(resumed)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("fleet-smoke: resumed report diverged\n--- uninterrupted\n%s--- resumed\n%s", want, got)
+	}
+	fmt.Println("fleet-smoke ok: resumed report is byte-identical")
+	return nil
+}

@@ -163,15 +163,24 @@ type loadbenchReport struct {
 	Pass bool `json:"pass"`
 }
 
-// percentile returns the p-th (0..1) percentile by nearest-rank on a
-// sorted copy.
+// percentile returns the p-th (0..1) percentile by the standard
+// nearest-rank definition, rank = ceil(p·n), on a sorted copy. The
+// previous int(p·(n-1)+0.5) rounding was neither nearest-rank nor
+// linear interpolation and biased small-sample p99 low (at n=20 it
+// reported the 19th value as p99 instead of the max).
 func percentile(ms []float64, p float64) float64 {
 	if len(ms) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), ms...)
 	sort.Float64s(s)
-	i := int(p*float64(len(s)-1) + 0.5)
+	i := int(math.Ceil(p*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
 	return s[i]
 }
 

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+// TestPercentileNearestRank pins the nearest-rank definition
+// (rank = ceil(p·n), 1-indexed) over known samples, including the
+// small-sample p99 case the old rounding got wrong: at n=20, p99 must
+// be the maximum (rank ceil(0.99·20) = 20), not the 19th value.
+func TestPercentileNearestRank(t *testing.T) {
+	seq := func(n int) []float64 {
+		out := make([]float64, n)
+		// Reverse order: percentile must sort a copy, not trust input order.
+		for i := range out {
+			out[i] = float64(n - i)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		in   []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single p50", seq(1), 0.50, 1},
+		{"single p99", seq(1), 0.99, 1},
+		{"n4 p50", seq(4), 0.50, 2},
+		{"n5 p50", seq(5), 0.50, 3},
+		{"n10 p50", seq(10), 0.50, 5},
+		{"n10 p90", seq(10), 0.90, 9},
+		{"n10 p99", seq(10), 0.99, 10},
+		{"n10 p100", seq(10), 1.00, 10},
+		{"n20 p99 is max", seq(20), 0.99, 20},
+		{"n100 p99", seq(100), 0.99, 99},
+		{"n100 p100", seq(100), 1.00, 100},
+		{"n100 p0 floor", seq(100), 0, 1},
+		{"unsorted", []float64{7, 1, 5, 3}, 0.50, 3},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.in, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(n=%d, p=%g) = %g, want %g",
+				tc.name, len(tc.in), tc.p, got, tc.want)
+		}
+	}
+	// The copy contract: the caller's slice must stay untouched.
+	in := []float64{3, 1, 2}
+	_ = percentile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("percentile mutated its input: %v", in)
+	}
+}

@@ -73,6 +73,10 @@ func main() {
 		err = cmdLoadbench(args)
 	case "serve-smoke":
 		err = cmdServeSmoke(args)
+	case "fleet":
+		err = cmdFleet(args)
+	case "fleet-smoke":
+		err = cmdFleetSmoke(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -103,6 +107,8 @@ func usage() {
   serve      run the batching thermal-solve daemon (HTTP/JSON on -addr)
   loadbench  closed/open-loop load generator against the daemon; writes BENCH_serve.json
   serve-smoke  end-to-end daemon check: mixed traffic, cache/batch/metrics asserts
+  fleet      deterministic fleet-scale trace replay over modeled stacks
+  fleet-smoke  kill a checkpointed fleet replay, resume it, assert byte-identical reports
 
 Experiment commands accept -metrics-addr HOST:PORT to serve live
 Prometheus/JSON metrics and a trace dump while they run; 'xylem trace

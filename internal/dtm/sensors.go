@@ -195,10 +195,13 @@ func (l *SensorLoop) Run(ctx context.Context, bank *fault.SensorBank, powerInj *
 		return nil, fmt.Errorf("dtm: bank has %d sites, loop has %d", bank.NumSites(), len(l.sites))
 	}
 	grid := l.st.Model.Grid
-	top := len(l.levels) - 1
-	level := 0
-	if policy == NaivePolicy {
-		level = top
+	ctl, err := NewSensorCtl(policy, guardC, len(l.sites), len(l.levels))
+	if err != nil {
+		return nil, err
+	}
+	limits := make([]float64, len(l.sites))
+	for s, site := range l.sites {
+		limits[s] = site.LimitC
 	}
 	// Handles are nil-safe no-ops when no registry is attached; the
 	// counters are atomics, so concurrent replays record safely.
@@ -208,91 +211,40 @@ func (l *SensorLoop) Run(ctx context.Context, bank *fault.SensorBank, powerInj *
 		sp.End(obs.A("policy", float64(policy)), obs.A("steps", float64(steps)))
 	}()
 	ts := l.solver.Clone().NewTransientAmbient()
-	lastRead := make([]float64, len(l.sites))
-	stale := make([]int, len(l.sites))
+	tvs := make([]float64, len(l.sites))
 	out := make([]SensorSample, 0, steps)
 	for i := 0; i < steps; i++ {
 		bank.Advance()
-		pm := thermal.PowerMap(powerInj.PerturbPower(l.maps[level]))
+		pm := thermal.PowerMap(powerInj.PerturbPower(l.maps[ctl.Level]))
 		if err := ts.StepCtx(ctx, pm, l.periodMs*1e-3); err != nil {
 			return out, err
 		}
 		field := ts.Field()
 		trueHot, _ := field.Max(l.st.ProcMetalLayer)
 
-		valid := 0
-		fused := math.Inf(1)
 		trueHead := math.Inf(1)
 		for s, site := range l.sites {
-			tv := field.MaxOver(grid, site.Layer, site.Rect)
-			if h := site.LimitC - tv; h < trueHead {
+			tvs[s] = field.MaxOver(grid, site.Layer, site.Rect)
+			if h := site.LimitC - tvs[s]; h < trueHead {
 				trueHead = h
 			}
-			v, ok := bank.Read(s, tv)
-			if !ok {
-				stale[s] = 0
-				o.dropouts.Inc()
-				continue
-			}
-			// Stuck-at detection: a reading that repeats exactly for
-			// stuckWindow intervals stops counting as fresh.
-			if i > 0 && v == lastRead[s] {
-				stale[s]++
-			} else {
-				stale[s] = 0
-			}
-			lastRead[s] = v
-			if stale[s] >= stuckWindow {
-				o.stale.Inc()
-				continue
-			}
-			valid++
-			if h := site.LimitC - v; h < fused {
-				fused = h
-			}
 		}
+		freq := l.levels[ctl.Level]
+		d := ctl.Observe(limits, func(s int) (float64, bool) {
+			return bank.Read(s, tvs[s])
+		})
 
 		sample := SensorSample{
 			TimeMs:   float64(i+1) * l.periodMs,
-			FreqGHz:  l.levels[level],
+			FreqGHz:  freq,
 			TrueHotC: trueHot, TrueHeadroomC: trueHead,
-			FusedHeadroomC: fused, ValidSensors: valid,
+			FusedHeadroomC: d.FusedHeadroomC, ValidSensors: d.ValidSensors,
+			Fallback: d.Fallback, Throttle: d.Throttle, Boost: d.Boost,
 		}
-		switch policy {
-		case GuardedPolicy:
-			allValid := valid == len(l.sites)
-			switch {
-			case valid == 0:
-				// Total sensor loss: worst-case throttle to the floor.
-				sample.Fallback = true
-				if level > 0 {
-					sample.Throttle = true
-				}
-				level = 0
-			case fused <= guardC:
-				o.guardHits.Inc()
-				if level > 0 {
-					level--
-					sample.Throttle = true
-				}
-			case allValid && fused > guardC+boostHystC && level < top:
-				level++
-				sample.Boost = true
-			default:
-				// Partial loss or inside the hysteresis band: hold.
-				// Missing data never justifies a boost.
-			}
-		default: // NaivePolicy
-			switch {
-			case valid == 0:
-				// No data, no reaction — the naive loop's blind spot.
-			case fused < 0 && level > 0:
-				level--
-				sample.Throttle = true
-			case fused > boostHystC && level < top:
-				level++
-				sample.Boost = true
-			}
+		o.dropouts.Add(int64(d.Dropouts))
+		o.stale.Add(int64(d.StaleDiscards))
+		if d.GuardHit {
+			o.guardHits.Inc()
 		}
 		if sample.Fallback {
 			o.fallbacks.Inc()

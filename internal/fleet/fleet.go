@@ -1,0 +1,499 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/xylem-sim/xylem/internal/ckpt"
+	"github.com/xylem-sim/xylem/internal/core"
+	"github.com/xylem-sim/xylem/internal/dtm"
+	"github.com/xylem-sim/xylem/internal/fault"
+	"github.com/xylem-sim/xylem/internal/geom"
+	"github.com/xylem-sim/xylem/internal/obs"
+	"github.com/xylem-sim/xylem/internal/perf"
+	"github.com/xylem-sim/xylem/internal/stack"
+	"github.com/xylem-sim/xylem/internal/thermal"
+	"github.com/xylem-sim/xylem/internal/workload"
+)
+
+// ErrKilled is returned by a replay whose Config.KillAfterSaves
+// crash-injection hook fired: the engine exits right after writing a
+// snapshot, exactly as a hard kill at that moment would.
+var ErrKilled = errors.New("fleet: killed at checkpoint boundary (crash-injection hook)")
+
+// Config parameterises a fleet replay.
+type Config struct {
+	// Scheme is the stack variant every modeled machine uses; Grid the
+	// thermal grid resolution (NxN).
+	Scheme stack.SchemeKind
+	Grid   int
+	// Stacks is the fleet size; Events the total number of per-stack
+	// control events to replay (the engine finishes the round in
+	// progress, so slightly more may run).
+	Stacks int
+	Events int
+	// Shape selects the traffic generator; Seed the deterministic
+	// replay (traces, fault streams, application churn).
+	Shape Shape
+	Seed  uint64
+	// PeriodMs is the control period on the virtual clock; Phases the
+	// number of hash-assigned phase cohorts (stacks in the same cohort
+	// fall due together and coalesce into batch columns).
+	PeriodMs float64
+	Phases   int
+	// Policy and GuardC configure each stack's dtm.SensorCtl.
+	Policy dtm.SensorPolicy
+	GuardC float64
+	// Apps is the application pool stacks churn through; Instructions
+	// overrides each profile's budget when > 0.
+	Apps         []string
+	Instructions int
+	// BatchWidth caps how many due stacks share one multi-RHS batched
+	// solve; Workers is the solver-internal CG worker count plus the
+	// batch-group dispatch width. Neither changes any result — batched
+	// columns are bitwise-equal to sequential solves and chunked solver
+	// parallelism is bitwise-deterministic — so they are pure
+	// throughput levers (and excluded from the checkpoint signature).
+	BatchWidth int
+	Workers    int
+	// Fault configures the per-stack injectors; each stack derives its
+	// own seed from Seed, so streams are independent and reproducible.
+	Fault fault.Config
+	// SLOMs is the served-latency objective; BaseLatMs the unloaded
+	// service latency of the queueing model.
+	SLOMs     float64
+	BaseLatMs float64
+	// Checkpoint enables crash-safe snapshots in this directory;
+	// CkptEveryRounds is the round stride between snapshots; Resume
+	// loads the newest intact snapshot and continues. KillAfterSaves is
+	// the crash-injection hook (see ErrKilled).
+	Checkpoint      string
+	CkptEveryRounds int
+	Resume          bool
+	KillAfterSaves  int
+	// Obs, when non-nil, receives the live write-only metrics mirror.
+	Obs *obs.Registry
+}
+
+// DefaultConfig returns a production-shaped replay configuration.
+func DefaultConfig() Config {
+	return Config{
+		Scheme:          stack.Base,
+		Grid:            16,
+		Stacks:          1000,
+		Events:          4000,
+		Shape:           Mixed,
+		Seed:            1,
+		PeriodMs:        100,
+		Phases:          2,
+		Policy:          dtm.GuardedPolicy,
+		GuardC:          3,
+		Apps:            []string{"lu-nas", "fft"},
+		Instructions:    60_000,
+		BatchWidth:      16,
+		Workers:         0,
+		SLOMs:           25,
+		BaseLatMs:       2,
+		CkptEveryRounds: 4,
+		Fault: fault.Config{
+			SensorNoiseSigmaC: 0.3,
+			SensorDropoutRate: 0.01,
+			SensorStuckRate:   0.002,
+			SolverDivergeRate: 0.002,
+			SolverBudgetRate:  0.002,
+		},
+	}
+}
+
+// stackState is one modeled machine's mutable state. Everything here
+// round-trips through the checkpoint codec.
+type stackState struct {
+	shape Shape
+	ctl   *dtm.SensorCtl
+	inj   *fault.Injector
+	bank  *fault.SensorBank
+	// warm is the last solved temperature field: the warm start of the
+	// next solve and the sensor substrate of fault-skipped intervals.
+	warm thermal.Temperature
+	// Last outcome's power/thermal numbers, reused when an injected
+	// solver fault skips the interval's solve.
+	prevProcW, prevDRAMW float64
+}
+
+// site is one sensor site of the fleet's (shared) sensor layout.
+type site struct {
+	layer  int
+	rect   geom.Rect
+	limitC float64
+}
+
+// Engine is a prepared fleet replay.
+type Engine struct {
+	cfg    Config
+	sys    *core.System
+	st     *stack.Stack
+	levels []float64
+	sites  []site
+	limits []float64
+	apps   []workload.Profile
+	stacks []*stackState
+
+	round  uint64
+	met    *metrics
+	obsH   fleetObs
+	store  *ckpt.Store
+	saves  int
+	killed bool
+}
+
+// New prepares a fleet replay. With cfg.Resume set, the engine restores
+// the newest intact snapshot from cfg.Checkpoint before returning.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Stacks < 1 {
+		return nil, fmt.Errorf("fleet: need at least one stack, got %d", cfg.Stacks)
+	}
+	if cfg.Events < 1 {
+		return nil, fmt.Errorf("fleet: need at least one event, got %d", cfg.Events)
+	}
+	if cfg.PeriodMs <= 0 {
+		return nil, fmt.Errorf("fleet: non-positive control period %g ms", cfg.PeriodMs)
+	}
+	if cfg.Phases < 1 {
+		cfg.Phases = 1
+	}
+	if cfg.BatchWidth < 1 {
+		cfg.BatchWidth = 1
+	}
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("fleet: empty application pool")
+	}
+	ccfg := core.DefaultConfig()
+	if cfg.Grid > 0 {
+		ccfg.Stack.GridRows, ccfg.Stack.GridCols = cfg.Grid, cfg.Grid
+	}
+	sys, err := core.NewSystem(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	sys.Ev.Workers = cfg.Workers
+	st := sys.Stack(cfg.Scheme)
+	if st == nil {
+		return nil, fmt.Errorf("fleet: unknown scheme %v", cfg.Scheme)
+	}
+	apps := make([]workload.Profile, len(cfg.Apps))
+	for i, name := range cfg.Apps {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Instructions > 0 {
+			p.Instructions = cfg.Instructions
+		}
+		apps[i] = p
+	}
+
+	e := &Engine{
+		cfg: cfg, sys: sys, st: st,
+		levels: sys.DTM.DVFS.Levels(),
+		apps:   apps,
+		met:    newMetrics(),
+		obsH:   newFleetObs(cfg.Obs),
+	}
+	e.buildSites()
+	for i := 0; i < cfg.Stacks; i++ {
+		ctl, err := dtm.NewSensorCtl(cfg.Policy, cfg.GuardC, len(e.sites), len(e.levels))
+		if err != nil {
+			return nil, err
+		}
+		fcfg := cfg.Fault
+		fcfg.Seed = stackSeed(cfg.Seed, uint64(i))
+		inj := fault.New(fcfg)
+		e.stacks = append(e.stacks, &stackState{
+			shape: resolveShape(cfg.Shape, cfg.Seed, uint64(i)),
+			ctl:   ctl,
+			inj:   inj,
+			bank:  fault.NewSensorBank(inj, len(e.sites)),
+		})
+	}
+	if cfg.Checkpoint != "" {
+		store, err := ckpt.Open(cfg.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		e.store = store
+		if cfg.Resume {
+			if err := e.restore(); err != nil {
+				return nil, err
+			}
+			e.obsH.seed(e.met)
+		}
+	} else if cfg.Resume {
+		return nil, fmt.Errorf("fleet: resume requires a checkpoint directory")
+	}
+	return e, nil
+}
+
+// buildSites lays out the shared sensor geometry: one sensor per core,
+// a whole-processor-die sensor, and a bottom-DRAM-die sensor — the same
+// layout dtm.SensorLoop uses.
+func (e *Engine) buildSites() {
+	lim := e.sys.DTM.Limits
+	for c := 0; c < e.sys.Ev.SimCfg.Cores; c++ {
+		e.sites = append(e.sites, site{
+			layer: e.st.ProcMetalLayer, rect: e.st.Proc.CoreRect(c), limitC: lim.ProcMaxC,
+		})
+	}
+	e.sites = append(e.sites, site{
+		layer:  e.st.ProcMetalLayer,
+		rect:   geom.NewRect(0, 0, e.st.Proc.Width, e.st.Proc.Height),
+		limitC: lim.ProcMaxC,
+	})
+	e.sites = append(e.sites, site{
+		layer:  e.st.DRAMMetalLayers[0],
+		rect:   geom.NewRect(0, 0, e.st.DRAM.Width, e.st.DRAM.Height),
+		limitC: lim.DRAMMaxC,
+	})
+	e.limits = make([]float64, len(e.sites))
+	for i, s := range e.sites {
+		e.limits[i] = s.limitC
+	}
+}
+
+// phase returns stack i's hash-assigned phase cohort.
+func (e *Engine) phase(i int) uint64 {
+	return mix(e.cfg.Seed, streamPhase+100, uint64(i), 0) % uint64(e.cfg.Phases)
+}
+
+// event is one due stack's control event within a round.
+type event struct {
+	stk  int
+	util float64
+	// skip marks an injected solver fault: the interval reuses the
+	// stack's warm temperatures instead of solving.
+	skip bool
+	pt   perf.ThermalBatchPoint
+	out  perf.Outcome
+}
+
+// Run replays the fleet until the configured event budget is consumed,
+// then returns the rendered fleet report. The report is a pure function
+// of Config's replay-defining fields: worker count, batch width, and
+// checkpoint kills never change a byte of it.
+func (e *Engine) Run(ctx context.Context) (string, error) {
+	for e.met.events < uint64(e.cfg.Events) {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		due := make([]int, 0, e.cfg.Stacks)
+		for i := range e.stacks {
+			if e.phase(i) == e.round%uint64(e.cfg.Phases) {
+				due = append(due, i)
+			}
+		}
+		if err := e.processRound(ctx, due); err != nil {
+			return "", err
+		}
+		e.round++
+		e.obsH.round.Set(float64(e.round))
+		if e.store != nil && e.cfg.CkptEveryRounds > 0 && e.round%uint64(e.cfg.CkptEveryRounds) == 0 {
+			if err := e.save(); err != nil {
+				return "", err
+			}
+			if e.killed {
+				return "", ErrKilled
+			}
+		}
+	}
+	if e.store != nil {
+		if err := e.save(); err != nil {
+			return "", err
+		}
+		if e.killed {
+			return "", ErrKilled
+		}
+	}
+	return e.report(), nil
+}
+
+// processRound replays one virtual control interval for every due
+// stack: trace generation, batched steady-state solves, sensor-driven
+// DVFS control, and metric accumulation (applied in ascending stack
+// order, so float sums are order-deterministic).
+func (e *Engine) processRound(ctx context.Context, due []int) error {
+	if len(due) == 0 {
+		return nil
+	}
+	tMs := e.round * uint64(e.cfg.PeriodMs)
+	cores := e.sys.Ev.SimCfg.Cores
+	evs := make([]*event, len(due))
+	for k, i := range due {
+		s := e.stacks[i]
+		ev := &event{stk: i, util: Util(s.shape, e.cfg.Seed, uint64(i), tMs)}
+		// The injector draws one solver-fault decision per control
+		// event. A fault skips the solve and replays the stack's warm
+		// temperatures — except on a cold stack, which has no field to
+		// reuse yet (the draw is still consumed, so resumed and
+		// uninterrupted runs stay aligned).
+		maxIter, ferr := s.inj.SolveFault()
+		if (ferr != nil || maxIter > 0) && s.warm != nil {
+			ev.skip = true
+		} else {
+			nThreads := 1 + int(ev.util*float64(cores-1)+0.5)
+			if nThreads > cores {
+				nThreads = cores
+			}
+			app := e.apps[appIndex(e.cfg.Seed, uint64(i), tMs, len(e.apps))]
+			freqs := e.sys.Uniform(e.levels[s.ctl.Level])
+			res, err := e.sys.Ev.Activity(e.st.Cfg.NumDRAMDies, freqs, perf.UniformAssignments(app, nThreads))
+			if err != nil {
+				return err
+			}
+			ev.pt = perf.ThermalBatchPoint{Freqs: freqs, Res: res, Warm: s.warm}
+		}
+		evs[k] = ev
+	}
+
+	if err := e.solveBatches(ctx, evs); err != nil {
+		return err
+	}
+
+	for _, ev := range evs {
+		e.apply(ev)
+	}
+	return nil
+}
+
+// solveBatches coalesces the round's non-skipped events into
+// BatchWidth-column multi-RHS solves and dispatches the groups over up
+// to Workers goroutines. Every column's outcome is bitwise-equal to its
+// sequential solo evaluation, so neither the grouping nor the dispatch
+// order can change any number.
+func (e *Engine) solveBatches(ctx context.Context, evs []*event) error {
+	var pending []*event
+	for _, ev := range evs {
+		if !ev.skip {
+			pending = append(pending, ev)
+		}
+	}
+	var groups [][]*event
+	for len(pending) > 0 {
+		n := e.cfg.BatchWidth
+		if n > len(pending) {
+			n = len(pending)
+		}
+		groups = append(groups, pending[:n])
+		pending = pending[n:]
+	}
+	workers := e.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for gi, g := range groups {
+		wg.Add(1)
+		go func(gi int, g []*event) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pts := make([]perf.ThermalBatchPoint, len(g))
+			for i, ev := range g {
+				pts[i] = ev.pt
+			}
+			outs, err := e.sys.Ev.ThermalBatchCtx(ctx, e.st, pts)
+			if err != nil {
+				errs[gi] = err
+				return
+			}
+			for i, ev := range g {
+				ev.out = outs[i]
+			}
+		}(gi, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apply folds one solved (or fault-skipped) event into its stack's
+// control state and the fleet aggregate.
+func (e *Engine) apply(ev *event) {
+	s := e.stacks[ev.stk]
+	procW, dramW := s.prevProcW, s.prevDRAMW
+	temps := s.warm
+	if ev.skip {
+		e.met.solverFaults++
+		e.obsH.solverFaults.Inc()
+	} else {
+		e.met.solves++
+		e.obsH.solves.Inc()
+		temps = ev.out.Temps
+		s.warm = ev.out.Temps
+		procW, dramW = ev.out.ProcPowerW, ev.out.DRAMPowerW
+		s.prevProcW, s.prevDRAMW = procW, dramW
+	}
+
+	// The frequency served this interval is the level the solve ran at
+	// — the controller's decision applies from the next interval.
+	levelBefore := s.ctl.Level
+	freq := e.levels[levelBefore]
+
+	grid := e.st.Model.Grid
+	s.bank.Advance()
+	d := s.ctl.Observe(e.limits, func(si int) (float64, bool) {
+		trueC := e.sys.Ev.Power.TRefC
+		if temps != nil {
+			trueC = temps.MaxOver(grid, e.sites[si].layer, e.sites[si].rect)
+		}
+		return s.bank.Read(si, trueC)
+	})
+
+	m := e.met
+	m.events++
+	m.dropouts += uint64(d.Dropouts)
+	m.staleReads += uint64(d.StaleDiscards)
+	if d.Fallback {
+		m.fallbacks++
+		e.obsH.fallbacks.Inc()
+	}
+	if d.GuardHit {
+		m.guardHits++
+	}
+	if d.Throttle {
+		m.throttles++
+		e.obsH.throttles.Inc()
+	}
+	if d.Boost {
+		m.boosts++
+		e.obsH.boosts.Inc()
+	}
+	e.obsH.events.Inc()
+	e.obsH.dropouts.Add(int64(d.Dropouts))
+
+	// Served latency: an M/M/1-flavoured curve over the interval's
+	// offered load and the DVFS-scaled capacity, saturating at 50x the
+	// unloaded latency.
+	capacity := freq / e.levels[len(e.levels)-1]
+	util := ev.util / capacity
+	if util > 0.98 {
+		util = 0.98
+	}
+	lat := e.cfg.BaseLatMs / (1 - util)
+	m.observeLatency(s.shape, lat)
+	e.obsH.latency.Observe(lat)
+	if lat > e.cfg.SLOMs {
+		m.sloViol++
+		e.obsH.sloViol.Inc()
+	}
+	if levelBefore < len(e.levels)-1 {
+		m.throttleMin += e.cfg.PeriodMs / 60_000
+	}
+	m.energyJ += (procW + dramW) * e.cfg.PeriodMs / 1000
+}

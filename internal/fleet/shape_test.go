@@ -1,0 +1,91 @@
+package fleet
+
+import "testing"
+
+func TestShapeRoundTrip(t *testing.T) {
+	for _, s := range []Shape{Diurnal, Bursty, FlashCrowd, Failover, Mixed} {
+		got, err := ParseShape(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseShape(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseShape("sawtooth"); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}
+
+func TestUtilBoundedAndPure(t *testing.T) {
+	for _, shape := range []Shape{Diurnal, Bursty, FlashCrowd, Failover} {
+		for stk := uint64(0); stk < 20; stk++ {
+			for tMs := uint64(0); tMs < 600_000; tMs += 7_000 {
+				u := Util(shape, 11, stk, tMs)
+				if u < utilFloor || u > utilCeil {
+					t.Fatalf("%v stack %d t=%d: util %v outside [%v, %v]", shape, stk, tMs, u, utilFloor, utilCeil)
+				}
+				if u2 := Util(shape, 11, stk, tMs); u2 != u {
+					t.Fatalf("%v stack %d t=%d: Util is not pure (%v vs %v)", shape, stk, tMs, u, u2)
+				}
+			}
+		}
+	}
+}
+
+// TestFailoverShiftsLoad pins the failover semantics: during a failover
+// window exactly one member of each pair idles at the floor while its
+// partner carries elevated load.
+func TestFailoverShiftsLoad(t *testing.T) {
+	const tMs = uint64(1_000) // inside the first failover window
+	shifted := 0
+	for pair := uint64(0); pair < 50; pair++ {
+		a := Util(Failover, 3, 2*pair, tMs)
+		b := Util(Failover, 3, 2*pair+1, tMs)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo != utilFloor {
+			t.Fatalf("pair %d: no member idled (utils %v, %v)", pair, a, b)
+		}
+		outside := Util(Failover, 3, 2*pair, uint64(failDurMs+1_000))
+		if hi > outside {
+			shifted++
+		}
+	}
+	if shifted < 25 {
+		t.Fatalf("only %d/50 surviving partners carried elevated load", shifted)
+	}
+}
+
+func TestMixedResolvesAllShapes(t *testing.T) {
+	seen := map[Shape]bool{}
+	for stk := uint64(0); stk < 200; stk++ {
+		s := resolveShape(Mixed, 9, stk)
+		if s == Mixed || int(s) >= numShapes {
+			t.Fatalf("stack %d resolved to %v", stk, s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != numShapes {
+		t.Fatalf("200 stacks hit only %d/%d shapes", len(seen), numShapes)
+	}
+	if resolveShape(Bursty, 9, 4) != Bursty {
+		t.Fatal("concrete shape did not resolve to itself")
+	}
+}
+
+func TestAppIndexChurnsWithinPool(t *testing.T) {
+	seen := map[int]bool{}
+	for tMs := uint64(0); tMs < 40*appEpochMs; tMs += appEpochMs {
+		i := appIndex(5, 3, tMs, 3)
+		if i < 0 || i >= 3 {
+			t.Fatalf("app index %d outside pool", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("app selection never churned across 40 epochs")
+	}
+	if appIndex(5, 3, 123, 1) != 0 {
+		t.Fatal("single-app pool must always pick app 0")
+	}
+}

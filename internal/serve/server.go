@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -631,7 +632,15 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	body := ErrorBody{Error: err.Error(), Kind: kind}
 	if status == http.StatusTooManyRequests {
 		body.RetryAfterS = s.cfg.RetryAfter.Seconds()
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		// The header is integer seconds (RFC 9110); a sub-second hint must
+		// round UP and never below 1 — "Retry-After: 0" tells clients to
+		// hammer an already overloaded daemon immediately. The JSON body
+		// keeps the exact float for clients that can honour it.
+		secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

@@ -339,3 +339,32 @@ func TestStatusForTaxonomy(t *testing.T) {
 		}
 	}
 }
+
+// TestSubSecondRetryAfterClampsToOne pins the header math for
+// sub-second back-off hints: a 400 ms RetryAfter must not render as
+// "Retry-After: 0" (which tells clients to retry immediately against
+// an overloaded daemon) — the integer header rounds up to 1 while the
+// JSON body keeps the exact float seconds.
+func TestSubSecondRetryAfterClampsToOne(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueCap = 0 // nothing can be admitted without a ready dispatcher
+	cfg.RetryAfter = 400 * time.Millisecond
+	s := New(cfg) // workers deliberately not started
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts.URL+"/v1/solve", testRequest(t, 0))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d; want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After %q; want \"1\"", got)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("429 body not JSON: %v: %s", err, body)
+	}
+	if eb.RetryAfterS != 0.4 {
+		t.Fatalf("retry_after_s %v; want exact 0.4", eb.RetryAfterS)
+	}
+}

